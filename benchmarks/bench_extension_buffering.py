@@ -1,0 +1,16 @@
+"""Benchmark: the LRU buffering extension sweep (ext02)."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_ext02_buffering(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "ext02", figure_scale)
+    naive = table.column("naive_max_throughput")
+    frames = table.column("buffer_frames")
+    assert all(a <= b for a, b in zip(naive, naive[1:]))
+    # The knee: with raw disk cost 10, the ~7 frames caching the top two
+    # levels already multiply the zero-buffer throughput several-fold,
+    # and the remaining thousands of frames add less than that again.
+    top2_index = next(i for i, f in enumerate(frames) if f >= 7.0)
+    assert naive[top2_index] > 3.0 * naive[0]
+    assert naive[-1] - naive[top2_index] < naive[top2_index] - naive[0] + 0.2

@@ -1,0 +1,18 @@
+"""Benchmark: the closed-system multiprogramming sweep (ext04) — the
+paper's Section 1 motivating scenario run directly."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_ext04_closed_system(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "ext04", figure_scale)
+    naive_throughput = table.column("naive_throughput")
+    link_throughput = table.column("link_throughput")
+    mpls = table.column("mpl")
+    # Naive plateaus; link keeps scaling with the population.
+    top = mpls.index(max(mpls))
+    mid = mpls.index(25)
+    assert naive_throughput[top] < 1.4 * naive_throughput[mid]
+    assert link_throughput[top] > 2.0 * link_throughput[mid]
+    # At the motivating MPL (~100), link-type wins by a wide margin.
+    assert link_throughput[top] > 3.0 * naive_throughput[top]

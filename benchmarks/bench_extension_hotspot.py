@@ -1,0 +1,17 @@
+"""Benchmark: the hotspot skew sweep (ext05)."""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_ext05_hotspot(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "ext05", figure_scale)
+    naive = table.column("naive_insert")
+    link = table.column("link_insert")
+    finite_naive = [v for v in naive if not math.isinf(v)]
+    # Skew hurts lock-coupling...
+    assert max(finite_naive) > 1.2 * finite_naive[0] \
+        or math.isinf(naive[-1])
+    # ... while the link algorithm stays essentially flat.
+    assert max(link) < 1.4 * min(link)

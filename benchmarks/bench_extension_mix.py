@@ -1,0 +1,15 @@
+"""Benchmark: the operation-mix sensitivity sweep (ext03)."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_ext03_mix_sensitivity(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "ext03", figure_scale)
+    for column in ("two_phase_max_throughput", "naive_max_throughput",
+                   "optimistic_max_throughput", "link_max_throughput"):
+        series = table.column(column)
+        assert all(a < b for a, b in zip(series, series[1:]))
+    # The ordering is mix-invariant.
+    for row in table.rows:
+        _qs, two_phase, naive, optimistic, link = row
+        assert two_phase < naive < optimistic < link

@@ -1,0 +1,16 @@
+"""Benchmark: the Two-Phase Locking extension comparison (ext01) with a
+simulated 2PL column — the full restrictive-to-concurrent spectrum."""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_ext01_two_phase(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "ext01", figure_scale,
+                       simulate=True)
+    two_phase = table.column("two_phase_insert")
+    link = table.column("link_insert")
+    # 2PL saturates within the plotted range; Link never does.
+    assert any(math.isinf(v) for v in two_phase)
+    assert not any(math.isinf(v) for v in link)

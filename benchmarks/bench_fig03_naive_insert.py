@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Figure 3 (Naive Lock-coupling insert response vs arrival rate).
+
+Analytical series plus the validating simulation at the configured
+``--figure-scale`` (default 0.05; 1.0 reproduces the paper's 10,000
+operations over 5 seeds).
+"""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig03_naive_insert(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig03", figure_scale,
+                       simulate=True)
+    # Shape check: the analytical response curve rises with load and
+    # stays finite until the knee.
+    model = [v for v in table.column("model_insert_response") if not math.isinf(v)]
+    assert len(model) >= 3
+    assert model[-1] > model[0]

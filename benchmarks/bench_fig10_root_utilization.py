@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 10 (root writer utilization, Naive LC).
+
+The paper's observation: rho_w grows super-linearly with the arrival
+rate — going from .5 to 1 takes less than a 50% rate increase.
+"""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig10_root_utilization(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig10", figure_scale,
+                       simulate=True)
+    rhos = [v for v in table.column("model_rho_w_root")
+            if not math.isinf(v)]
+    rates = table.column("arrival_rate")[: len(rhos)]
+    assert all(a < b for a, b in zip(rhos, rhos[1:]))
+    # Super-linear growth: utilization more than doubles when the rate
+    # doubles (compare the first point against one at ~4x the rate).
+    assert rhos[3] > 2.0 * rhos[1] * (rates[3] / rates[1]) / 2.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 11 (Naive LC max throughput vs disk cost)."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig11_throughput_vs_disk(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig11", figure_scale)
+    throughputs = table.column("max_throughput")
+    assert all(a > b for a, b in zip(throughputs, throughputs[1:]))
+    # D=20 costs more than half the D=1 throughput (paper: the cost of
+    # locking on-disk nodes is significant).
+    assert throughputs[-1] < 0.5 * throughputs[0]

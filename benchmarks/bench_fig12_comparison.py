@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 12 (insert response comparison of the
+three algorithms) — the paper's headline ordering
+Link-type > Optimistic Descent > Naive Lock-coupling."""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig12_comparison(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig12", figure_scale)
+    naive = table.column("naive_insert")
+    optimistic = table.column("optimistic_insert")
+    link = table.column("link_insert")
+    # Naive saturates within the plotted range; Link never does.
+    assert any(math.isinf(v) for v in naive)
+    assert not any(math.isinf(v) for v in link)
+    # Where all are finite, the ordering holds.
+    for n, o, l in zip(naive, optimistic, link):
+        if not math.isinf(n):
+            assert n >= o * 0.98 >= l * 0.9

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 13 (Naive LC rules of thumb vs the full
+analysis, sweeping node size for D in {1, 10})."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig13_thumb_naive(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig13", figure_scale)
+    for order, disk_cost, analytical, thumb, limit in table.rows:
+        assert 0 < thumb <= limit * 1.0001
+        if disk_cost == 1.0:
+            # In memory the rule of thumb tracks the analysis closely.
+            assert abs(thumb - analytical) / analytical < 0.35

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 14 (Optimistic Descent rules of thumb
+vs the full analysis) — the achievable rate grows ~ N/log^2 N."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig14_thumb_optimistic(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig14", figure_scale)
+    by_d = {}
+    for order, disk_cost, analytical, thumb, limit in table.rows:
+        assert thumb <= limit * 1.0001
+        by_d.setdefault(disk_cost, []).append(analytical)
+    for series in by_d.values():
+        assert series[-1] > 2.0 * series[0]  # grows with node size

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 15 (recovery policies, N=13, 5 levels,
+D=10, T_trans=100)."""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig15_recovery_n13(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig15", figure_scale)
+    for rate, none, leaf, naive in table.rows:
+        if math.isinf(none):
+            continue
+        assert none <= leaf * 1.001
+        if not math.isinf(naive):
+            assert leaf <= naive * 1.001
+    # Naive recovery saturates strictly earlier than leaf-only.
+    naive_sat = sum(1 for v in table.column("naive_recovery_insert")
+                    if math.isinf(v))
+    leaf_sat = sum(1 for v in table.column("leaf_only_insert")
+                   if math.isinf(v))
+    assert naive_sat > leaf_sat

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 16 (recovery policies, N=59, 4 levels,
+D=10, T_trans=100).
+
+With the larger node size Pr[F(1)] shrinks, so leaf-only recovery gets
+even closer to no-recovery while naive recovery still suffers.
+"""
+
+import math
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig16_recovery_n59(benchmark, record_table, figure_scale):
+    table = run_figure(benchmark, record_table, "fig16", figure_scale)
+    for rate, none, leaf, naive in table.rows:
+        if math.isinf(none):
+            continue
+        assert none <= leaf * 1.001
+        if not math.isinf(naive):
+            assert leaf <= naive * 1.001
+    finite = [(leaf - none) / none
+              for _r, none, leaf, _n in table.rows
+              if not math.isinf(none) and not math.isinf(leaf)]
+    # Leaf-only's overhead stays small across the plotted range.
+    assert all(gap < 0.35 for gap in finite)

@@ -1,0 +1,61 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper figure (or one ablation) and
+writes its series to ``benchmarks/results/<id>.txt`` so the run leaves a
+reviewable artefact; the benchmark timing itself measures the cost of
+regenerating the figure.
+
+``--figure-scale`` controls simulation effort (default 0.05: ~500
+measured operations per point, one seed — enough to see the shape; use
+1.0 for the paper's full 10,000 x 5 seeds).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentTable
+from repro.experiments.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--figure-scale", type=float, default=0.05,
+        help="simulation effort scale for figure benchmarks "
+             "(1.0 = paper scale)")
+
+
+@pytest.fixture
+def figure_scale(request) -> float:
+    return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture
+def record_table():
+    """Persist a table under benchmarks/results and echo it."""
+
+    def _record(table: ExperimentTable) -> ExperimentTable:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(table)
+        (RESULTS_DIR / f"{table.experiment_id}.txt").write_text(text)
+        print("\n" + text)
+        return table
+
+    return _record
+
+
+def run_figure(benchmark, record_table, experiment_id: str, scale: float,
+               simulate: bool | None = None) -> ExperimentTable:
+    """Benchmark one figure regeneration and record the series."""
+    from repro.experiments.registry import get_experiment
+    experiment = get_experiment(experiment_id)
+
+    def regenerate():
+        return experiment.run(scale=scale, simulate=simulate)
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    return record_table(table)

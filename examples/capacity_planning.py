@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Capacity planning for a transaction-processing index.
+
+The paper's motivating scenario (Section 1): airlines, telecoms and banks
+need 1000+ transactions per second, each touching 4-6 records through
+indices, giving multiprogramming levels around 100 — at which point a
+restrictive index serialization technique becomes the bottleneck.
+
+This example converts a TPS target into an index arrival rate, then asks
+the framework which concurrency-control algorithm can sustain it and what
+response times to expect, across disk-cost scenarios (all-cached vs two
+cached levels).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.model import (
+    analyze_link,
+    analyze_lock_coupling,
+    analyze_optimistic,
+    max_throughput,
+    paper_default_config,
+)
+
+#: Target transactions per second and index accesses per transaction.
+TARGET_TPS = 1_000
+ACCESSES_PER_TXN = 5
+#: One time unit = one root search; assume 50 microseconds per root
+#: search, i.e. 20,000 time units per second.
+ROOT_SEARCHES_PER_SECOND = 20_000
+
+ANALYZERS = (
+    ("naive-lock-coupling", analyze_lock_coupling),
+    ("optimistic-descent", analyze_optimistic),
+    ("link-type", analyze_link),
+)
+
+
+def main() -> None:
+    index_ops_per_second = TARGET_TPS * ACCESSES_PER_TXN
+    arrival_rate = index_ops_per_second / ROOT_SEARCHES_PER_SECOND
+    print(f"target: {TARGET_TPS:,} TPS x {ACCESSES_PER_TXN} index accesses"
+          f" = {index_ops_per_second:,} index ops/s")
+    print(f"with {ROOT_SEARCHES_PER_SECOND:,} root-searches/s of CPU, "
+          f"that is an arrival rate of {arrival_rate:.3f} ops per "
+          "root-search time\n")
+
+    for disk_cost, label in ((1.0, "fully cached index"),
+                             (5.0, "two cached levels, disk cost 5"),
+                             (10.0, "two cached levels, disk cost 10")):
+        config = paper_default_config(disk_cost=disk_cost)
+        print(f"--- {label} ---")
+        for name, analyzer in ANALYZERS:
+            peak = max_throughput(analyzer, config)
+            headroom = peak / arrival_rate
+            prediction = analyzer(config, arrival_rate)
+            if prediction.stable:
+                verdict = (f"OK    insert response "
+                           f"{prediction.response('insert'):7.2f}  "
+                           f"(headroom {headroom:5.1f}x)")
+            else:
+                verdict = (f"FAILS saturates at level "
+                           f"{prediction.saturated_level} "
+                           f"(max {peak:.3f} < needed {arrival_rate:.3f})")
+            print(f"  {name:<22} {verdict}")
+        print()
+
+    print("Conclusion (matches the paper): lock-coupling techniques "
+          "bottleneck on the root at\nhigh multiprogramming levels; the "
+          "Link-type algorithm sustains the target with large margin.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Choosing a B-tree node size for a concurrent index.
+
+The paper's Section 6 design guidance: the maximum throughput of Naive
+Lock-coupling is limited by the root search time, which *grows* with the
+node size, so Naive wants small nodes; Optimistic Descent's writers are
+the rare redo operations (rate ~ q_i Pr[F(1)] ~ 1/N), so Optimistic wants
+nodes as large as possible (throughput ~ N / log^2 N).
+
+This example sweeps node sizes for a 1M-key index with a binary-searched
+root (root search time a + b log2 N) and prints the achievable effective
+maximum arrival rates, reproducing the crossover that drives the design
+rule.
+
+Run:  python examples/index_sizing.py
+"""
+
+import math
+
+from repro.model import (
+    ModelConfig,
+    analyze_lock_coupling,
+    analyze_optimistic,
+    arrival_rate_for_root_utilization,
+    paper_default_config,
+)
+from repro.model.params import CostModel, TreeShape
+
+N_KEYS = 1_000_000
+NODE_SIZES = (13, 31, 59, 101, 201, 401)
+
+
+def config_for(order: int) -> ModelConfig:
+    """Configuration with a binary-search root cost a + b*log2(N)."""
+    base = paper_default_config()
+    search_time = 0.5 + 0.5 * math.log2(order)
+    costs = CostModel(node_search_time=search_time, disk_cost=5.0,
+                      in_memory_levels=2)
+    return ModelConfig(mix=base.mix, costs=costs,
+                       shape=TreeShape.ideal(N_KEYS, order), order=order)
+
+
+def effective_max(analyzer, config: ModelConfig) -> float:
+    return arrival_rate_for_root_utilization(analyzer, config, target=0.5)
+
+
+def main() -> None:
+    print(f"Index of {N_KEYS:,} keys, root search = 0.5 + 0.5*log2(N), "
+          "disk cost 5, mix (.3,.5,.2)\n")
+    print(f"{'node size':>9} {'height':>6} {'naive max rate':>15} "
+          f"{'optimistic max rate':>20} {'optimistic / naive':>19}")
+    best = None
+    for order in NODE_SIZES:
+        config = config_for(order)
+        naive = effective_max(analyze_lock_coupling, config)
+        optimistic = effective_max(analyze_optimistic, config)
+        ratio = optimistic / naive
+        if best is None or optimistic > best[1]:
+            best = (order, optimistic)
+        print(f"{order:>9} {config.height:>6} {naive:>15.4f} "
+              f"{optimistic:>20.4f} {ratio:>18.1f}x")
+    print(f"\nDesign rule reproduced: Naive Lock-coupling is insensitive "
+          f"to (or hurt by) larger nodes,\nwhile Optimistic Descent keeps "
+          f"gaining — best node size tried: {best[0]} "
+          f"({best[1]:.2f} ops/unit).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Profiling a B-tree index as it approaches saturation.
+
+Demonstrates the observability features a practitioner needs when an
+index misbehaves: latency percentiles from the run metrics, per-level
+lock-wait breakdowns (which level is the bottleneck?), and the event
+trace (what exactly was a slow operation doing?).
+
+Run:  python examples/profile_saturation.py
+"""
+
+import random
+
+from repro.btree.builder import build_tree
+from repro.des import Acquire, Hold, READ, RWLock, Simulator, TraceLog
+from repro.model.params import CostModel
+from repro.simulator import SimulationConfig, run_simulation
+from repro.simulator.costs import ServiceTimeSampler
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.operations import OperationContext
+from repro.simulator import lock_coupling
+
+
+def latency_panel() -> None:
+    """Mean vs tail latencies as load approaches the knee."""
+    print("Naive Lock-coupling latency panel (search), ~0.61 = saturation:")
+    print(f"{'rate':>6} {'mean':>8} {'p50':>8} {'p90':>8} {'p99':>8} "
+          f"{'bottleneck level (W wait)':>28}")
+    for rate in (0.1, 0.3, 0.5, 0.58):
+        result = run_simulation(SimulationConfig(
+            algorithm="naive-lock-coupling", arrival_rate=rate,
+            n_items=8_000, n_operations=1_500, warmup_operations=150,
+            seed=5))
+        p = result.response_percentiles["search"]
+        worst_level, (_r, worst_wait) = max(
+            result.mean_lock_waits.items(),
+            key=lambda item: item[1][1] if item[1][1] == item[1][1] else -1)
+        print(f"{rate:>6} {result.mean_response['search']:>8.2f} "
+              f"{p['p50']:>8.2f} {p['p90']:>8.2f} {p['p99']:>8.2f} "
+              f"{'level ' + str(worst_level):>20} ({worst_wait:.2f})")
+
+
+def trace_one_operation() -> None:
+    """Event-trace a single insert through a contended tree."""
+    print("\nEvent trace of one insert racing a burst of searches:")
+    trace = TraceLog()
+    sim = Simulator(trace=trace)
+    rng = random.Random(1)
+
+    def attach(node):
+        node.lock = RWLock(f"L{node.level}.{node.node_id}")
+
+    tree = build_tree(400, order=4, key_space=1_000,
+                      rng=random.Random(2), on_new_node=attach)
+    metrics = MetricsCollector()
+    metrics.measuring = True
+    metrics.measure_start_time = 0.0
+    ctx = OperationContext(
+        sim, tree,
+        ServiceTimeSampler(CostModel(disk_cost=5.0), tree,
+                           random.Random(3)),
+        metrics, rng)
+    for i in range(6):
+        sim.spawn(lock_coupling.search(ctx, rng.randrange(1_000)),
+                  name=f"search-{i}", delay=0.2 * i)
+    insert_proc = sim.spawn(lock_coupling.insert(ctx, 777),
+                            name="insert-777", delay=0.5)
+    sim.run()
+    for event in trace.timeline(insert_proc.pid):
+        print(f"  {event}")
+
+
+def main() -> None:
+    latency_panel()
+    trace_one_operation()
+    print("\nReading: near the knee the p99 pulls away from the median "
+          "first, and the per-level\nwaits point at the root (the "
+          "lock-coupling bottleneck) — the trace shows each W\nlock the "
+          "insert had to queue for.")
+
+
+if __name__ == "__main__":
+    main()

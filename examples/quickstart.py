@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: predict and simulate concurrent B-tree performance.
+
+Builds the paper's default configuration (a ~40,000-item B-tree of order
+13, two levels cached, disk cost 5, mix 30% search / 50% insert / 20%
+delete), asks the analytical model for response times and maximum
+throughput of the three algorithms, and cross-checks one point against
+the discrete-event simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SimulationConfig,
+    analyze_link,
+    analyze_lock_coupling,
+    analyze_optimistic,
+    max_throughput,
+    paper_default_config,
+    run_simulation,
+)
+
+ANALYZERS = {
+    "naive-lock-coupling": analyze_lock_coupling,
+    "optimistic-descent": analyze_optimistic,
+    "link-type": analyze_link,
+}
+
+
+def main() -> None:
+    config = paper_default_config()
+    print(f"tree: height {config.height}, order {config.order}, "
+          f"root fanout {config.shape.root_fanout:.1f}, disk cost "
+          f"{config.costs.disk_cost:g}\n")
+
+    print("Analytical predictions at arrival rate 0.3 ops/time-unit:")
+    print(f"{'algorithm':<22} {'search':>8} {'insert':>8} {'delete':>8} "
+          f"{'max throughput':>15}")
+    for name, analyzer in ANALYZERS.items():
+        prediction = analyzer(config, 0.3)
+        peak = max_throughput(analyzer, config)
+        print(f"{name:<22} {prediction.response('search'):>8.2f} "
+              f"{prediction.response('insert'):>8.2f} "
+              f"{prediction.response('delete'):>8.2f} {peak:>15.2f}")
+
+    print("\nCross-check against the simulator (naive-lock-coupling, "
+          "2,000 measured operations):")
+    sim = run_simulation(SimulationConfig(
+        algorithm="naive-lock-coupling", arrival_rate=0.3,
+        n_operations=2_000, warmup_operations=200, seed=42))
+    model = analyze_lock_coupling(config, 0.3)
+    for op in ("search", "insert", "delete"):
+        print(f"  {op:<7} model {model.response(op):6.2f}   "
+              f"simulated {sim.mean_response[op]:6.2f}")
+    print(f"  measured root writer utilization: "
+          f"{sim.root_writer_utilization:.3f} "
+          f"(model: {model.root_writer_utilization:.3f})")
+
+
+if __name__ == "__main__":
+    main()

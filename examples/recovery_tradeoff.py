@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Is a separate index-locking protocol worth it? (paper Section 7)
+
+Database recovery managers hold a transaction's exclusive locks until
+commit.  Applied naively to B-tree index nodes, that retention strangles
+the index.  Shasha's observation: only *leaf* locks need to be retained
+for correct recovery.  This example quantifies the difference by sweeping
+the remaining-transaction time T_trans and reporting each policy's
+effective maximum arrival rate and the response-time penalty at a fixed
+load, for the paper's D=10 configuration.
+
+Run:  python examples/recovery_tradeoff.py
+"""
+
+import math
+
+from repro.errors import ConvergenceError
+from repro.model import (
+    LEAF_ONLY_RECOVERY,
+    NAIVE_RECOVERY,
+    NO_RECOVERY,
+    analyze_optimistic_with_recovery,
+    arrival_rate_for_root_utilization,
+    paper_default_config,
+)
+
+POLICIES = (NO_RECOVERY, LEAF_ONLY_RECOVERY, NAIVE_RECOVERY)
+T_TRANS_VALUES = (25.0, 50.0, 100.0, 200.0, 400.0)
+PROBE_RATE = 0.25
+
+
+def effective_max(config, policy, t_trans) -> float:
+    try:
+        return arrival_rate_for_root_utilization(
+            analyze_optimistic_with_recovery, config, target=0.5,
+            policy=policy, t_trans=t_trans)
+    except ConvergenceError:
+        return math.inf
+
+
+def main() -> None:
+    config = paper_default_config(disk_cost=10.0)
+    print("Optimistic Descent under recovery lock retention "
+          "(D=10, N=13, 5 levels)\n")
+    print(f"{'T_trans':>8} | " + " | ".join(
+        f"{policy.name:>22}" for policy in POLICIES))
+    print(f"{'':>8} | " + " | ".join(
+        f"{'max rate / resp@' + str(PROBE_RATE):>22}" for _ in POLICIES))
+    print("-" * 86)
+    for t_trans in T_TRANS_VALUES:
+        cells = []
+        for policy in POLICIES:
+            peak = effective_max(config, policy, t_trans)
+            prediction = analyze_optimistic_with_recovery(
+                config, PROBE_RATE, policy=policy, t_trans=t_trans)
+            response = prediction.response("insert")
+            resp = f"{response:.1f}" if prediction.stable else "sat."
+            cells.append(f"{peak:8.3f} / {resp:>9}")
+        print(f"{t_trans:>8g} | " + " | ".join(f"{c:>22}" for c in cells))
+
+    print("\nReading the table: leaf-only recovery tracks the no-recovery "
+          "baseline closely at every\ntransaction length, while naive "
+          "recovery loses most of its throughput — the paper's case\nfor "
+          "using a dedicated (leaf-only) locking protocol on index nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Construction phase: build a B-tree from a random insert/delete mix.
+
+The paper's simulator "first builds a B-tree out of a sequence of insert
+and delete operations ... The proportion of insert to delete operations in
+the construction phase is the same as the proportion in the concurrent
+operation phase" (Section 4).  ``build_tree`` reproduces that: it applies
+insert/delete operations drawn with the mix's update proportions until the
+tree holds the requested number of items.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.btree.policies import MERGE_AT_EMPTY, MergePolicy
+from repro.btree.tree import BPlusTree, NodeHook
+from repro.errors import ConfigurationError
+
+#: Default size of the integer key universe used by the experiments; large
+#: enough that random inserts rarely collide.
+DEFAULT_KEY_SPACE = 1 << 30
+
+
+def build_tree(n_items: int, order: int = 13,
+               insert_fraction: float = 5.0 / 7.0,
+               merge_policy: MergePolicy = MERGE_AT_EMPTY,
+               key_space: int = DEFAULT_KEY_SPACE,
+               seed: int = 0,
+               on_new_node: NodeHook = None,
+               on_free_node: NodeHook = None,
+               rng: Optional[random.Random] = None) -> BPlusTree:
+    """Grow a tree to ``n_items`` keys with a mixed insert/delete stream.
+
+    Parameters
+    ----------
+    n_items:
+        Target number of keys (the paper's experiments use ~40,000).
+    insert_fraction:
+        Probability that a construction operation is an insert, i.e.
+        ``q_i / (q_i + q_d)`` of the concurrent mix (paper default
+        .5/.7 = 5/7).
+    key_space:
+        Keys are drawn uniformly from ``[0, key_space)``.
+    seed / rng:
+        Reproducibility controls; ``rng`` wins when both are given.
+
+    Returns the populated :class:`~repro.btree.tree.BPlusTree`.
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"cannot build a tree of {n_items} items")
+    if not 0.5 < insert_fraction <= 1.0:
+        raise ConfigurationError(
+            "insert_fraction must be in (0.5, 1.0] so the tree grows "
+            f"(got {insert_fraction})"
+        )
+    rng = rng if rng is not None else random.Random(seed)
+    tree = BPlusTree(order=order, merge_policy=merge_policy,
+                     on_new_node=on_new_node, on_free_node=on_free_node)
+    while len(tree) < n_items:
+        key = rng.randrange(key_space)
+        if rng.random() < insert_fraction:
+            tree.insert(key)
+        else:
+            # Deleting a uniformly random key usually misses; aim at the
+            # resident population half the time so deletes actually bite,
+            # as in a mixed workload with re-reads of existing keys.
+            if len(tree) > 0 and rng.random() < 0.5:
+                key = _approximate_resident_key(tree, key)
+            tree.delete(key)
+    return tree
+
+
+def _approximate_resident_key(tree: BPlusTree, probe: int) -> int:
+    """Return a key actually present in the tree near ``probe``.
+
+    Finds the leaf responsible for ``probe`` and picks one of its keys
+    (or walks right to the first non-empty leaf).  O(height) instead of
+    O(n), which keeps construction of 40k-item trees fast.
+    """
+    leaf = tree.find_leaf(probe)
+    node = leaf
+    while node is not None and not node.keys:
+        node = node.right  # type: ignore[assignment]
+    if node is None or not node.keys:
+        return probe
+    return node.keys[len(node.keys) // 2]

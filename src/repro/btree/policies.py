@@ -1,0 +1,70 @@
+"""Underflow (merge) policies.
+
+The paper (Section 3.2, "B-trees") distinguishes:
+
+* **merge-at-half** — the classical Wedekind B+-tree: a node that drops
+  below half full is rebalanced (borrow from a sibling or merge with it).
+* **merge-at-empty** — nodes are only removed when they become completely
+  empty; no borrowing ever happens.  Johnson & Shasha (PODS '89) show this
+  restructures far less often with only slightly lower space utilization
+  when inserts outnumber deletes, which is why every algorithm in the
+  paper uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """A named underflow policy.
+
+    Attributes
+    ----------
+    name:
+        ``"merge-at-empty"`` or ``"merge-at-half"``.
+    min_fill_numerator / min_fill_denominator:
+        A non-root node underflows when it holds strictly fewer than
+        ``ceil(capacity * num / den)`` entries.  Merge-at-empty uses 1
+        entry as the floor (i.e. underflow only at zero entries).
+    """
+
+    name: str
+    min_fill_numerator: int
+    min_fill_denominator: int
+
+    def min_entries(self, capacity: int) -> int:
+        """Minimum number of entries a non-root node must retain."""
+        if self.min_fill_numerator == 0:
+            return 1  # merge-at-empty: a node survives with any entry
+        # ceil division for the half-full floor
+        num = capacity * self.min_fill_numerator
+        return -(-num // self.min_fill_denominator)
+
+    def underflows(self, n_entries: int, capacity: int) -> bool:
+        """True when a non-root node with ``n_entries`` must restructure."""
+        if self.min_fill_numerator == 0:
+            return n_entries == 0
+        return n_entries < self.min_entries(capacity)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+MERGE_AT_EMPTY = MergePolicy("merge-at-empty", 0, 1)
+MERGE_AT_HALF = MergePolicy("merge-at-half", 1, 2)
+
+_POLICIES = {p.name: p for p in (MERGE_AT_EMPTY, MERGE_AT_HALF)}
+
+
+def policy_by_name(name: str) -> MergePolicy:
+    """Look up a policy by its canonical name."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown merge policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,220 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the simulation clock and a binary-heap event list.
+Events are ``(time, sequence, action)`` triples where ``action`` is a
+zero-argument callable; the sequence number makes the ordering of
+simultaneous events deterministic (FIFO in scheduling order), which in turn
+makes whole simulation runs reproducible for a fixed random seed.
+
+Processes (see :mod:`repro.des.process`) communicate with the kernel by
+yielding commands.  The kernel steps a process as far as it can without
+time passing — e.g. a lock acquired without contention is granted
+immediately within the same step — which keeps the event heap small and the
+simulator fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.des.process import Acquire, Hold, Process, Release
+from repro.errors import ProcessError, SimulationError
+
+Action = Callable[[], None]
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def customer(lock):
+            wait = yield Acquire(lock, WRITE)
+            yield Hold(1.0)
+            lock.release_current(sim)
+
+        sim.spawn(customer(lock))
+        sim.run()
+    """
+
+    def __init__(self, trace=None) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._sequence: int = 0
+        self._active: int = 0
+        self._total_spawned: int = 0
+        self._stopped: bool = False
+        #: Optional :class:`~repro.des.trace.TraceLog` recording every
+        #: lifecycle/lock/hold event the kernel executes.
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    # Clock and bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_processes(self) -> int:
+        """Number of spawned processes that have not yet finished."""
+        return self._active
+
+    @property
+    def total_spawned(self) -> int:
+        """Number of processes spawned since construction."""
+        return self._total_spawned
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Action) -> None:
+        """Run ``action`` after ``delay`` units of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, action))
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Run ``action`` at absolute simulation time ``time``."""
+        self.schedule(time - self._now, action)
+
+    def spawn(self, generator, name: str = "",
+              on_done: Optional[Callable[[Process], None]] = None,
+              delay: float = 0.0) -> Process:
+        """Create a process from ``generator`` and start it after ``delay``.
+
+        Returns the :class:`Process` handle.  ``on_done`` is invoked with
+        the process when its generator finishes.
+        """
+        process = Process(generator, name=name)
+        process.on_done = on_done
+        self._active += 1
+        self._total_spawned += 1
+
+        def start() -> None:
+            process.started_at = self._now
+            if self.trace is not None:
+                self.trace.record(self._now, "spawn", process.pid,
+                                  process.name)
+            self._step(process, None)
+
+        self.schedule(delay, start)
+        return process
+
+    def resume(self, process: Process, value=None, delay: float = 0.0) -> None:
+        """Schedule ``process`` to be resumed with ``value`` after ``delay``.
+
+        Used by synchronisation objects (locks) to wake waiters.
+        """
+        self.schedule(delay, lambda: self._step(process, value))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> float:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event is later than ``until`` and
+            advance the clock to exactly ``until``.
+        stop_when:
+            Optional predicate checked after every event; the run stops as
+            soon as it returns True (used e.g. to stop after N measured
+            operations).
+
+        Returns the simulation time at which the run stopped.
+        """
+        self._stopped = False
+        while self._heap:
+            time, _seq, action = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            action()
+            if self._stopped or (stop_when is not None and stop_when()):
+                return self._now
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Process stepping
+    # ------------------------------------------------------------------
+    def _step(self, process: Process, send_value) -> None:
+        """Advance ``process`` until it blocks, holds, or finishes."""
+        if process.done:
+            raise ProcessError(f"{process!r} resumed after completion")
+        trace = self.trace
+        if trace is not None and process.pending_acquire is not None:
+            pending = process.pending_acquire
+            process.pending_acquire = None
+            trace.record(self._now, "grant", process.pid, process.name,
+                         f"{pending.mode} {pending.lock.name} "
+                         f"after {send_value:.4f}")
+        while True:
+            try:
+                command = process.generator.send(send_value)
+            except StopIteration:
+                self._finish(process)
+                return
+            if isinstance(command, Hold):
+                if trace is not None:
+                    trace.record(self._now, "hold", process.pid,
+                                 process.name, f"{command.duration:.4f}")
+                if command.duration == 0.0:
+                    send_value = None
+                    continue
+                self.resume(process, None, delay=command.duration)
+                return
+            if isinstance(command, Release):
+                if trace is not None:
+                    trace.record(self._now, "release", process.pid,
+                                 process.name, command.lock.name)
+                command.lock.release(self, process)
+                send_value = None
+                continue
+            if isinstance(command, Acquire):
+                if trace is not None:
+                    trace.record(self._now, "request", process.pid,
+                                 process.name,
+                                 f"{command.mode} {command.lock.name}")
+                granted = command.lock.request(self, process, command.mode)
+                if granted:
+                    # No contention: the wait is zero and the process
+                    # continues within this same step.
+                    if trace is not None:
+                        trace.record(self._now, "grant", process.pid,
+                                     process.name,
+                                     f"{command.mode} {command.lock.name} "
+                                     "immediately")
+                    send_value = 0.0
+                    continue
+                process.pending_acquire = command
+                return  # the lock will resume us with the wait time
+            raise ProcessError(
+                f"{process!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, process: Process) -> None:
+        process.done = True
+        process.finished_at = self._now
+        if self.trace is not None:
+            self.trace.record(self._now, "finish", process.pid,
+                              process.name)
+        self._active -= 1
+        if process.on_done is not None:
+            process.on_done(process)

@@ -1,0 +1,130 @@
+"""Process abstraction and the commands a process may yield.
+
+A simulation *process* is a plain Python generator.  It advances the model
+by yielding command objects to the engine:
+
+* ``yield Hold(duration)`` — let simulated time pass (the process is doing
+  timed work, e.g. searching a node or waiting for a disk read).
+* ``yield Acquire(lock, mode)`` — request ``lock`` in ``READ`` or ``WRITE``
+  mode; the process is resumed when the lock is granted.  The value sent
+  back into the generator is the time spent waiting in the lock queue.
+
+Releases are synchronous (``lock.release(process)``) because releasing
+never blocks; any waiters that become grantable are woken through the
+event heap at the current simulation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import ProcessError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from repro.des.rwlock import RWLock
+
+#: Shared lock mode (the paper's "R lock").
+READ = "R"
+#: Exclusive lock mode (the paper's "W lock").
+WRITE = "W"
+
+_process_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Hold:
+    """Command: consume ``duration`` units of simulated time."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ProcessError(f"cannot hold for negative time {self.duration}")
+
+
+@dataclass(frozen=True)
+class Release:
+    """Command: release ``lock`` (held by the yielding process).
+
+    Releasing never blocks; the engine performs it synchronously and
+    immediately resumes the process, waking any queued waiters that
+    become grantable at the current simulation time.
+    """
+
+    lock: "RWLock"
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Command: request ``lock`` in ``mode`` (``READ`` or ``WRITE``).
+
+    The engine resumes the process once the lock is granted and sends the
+    queueing delay (grant time minus request time) back into the generator,
+    so operations can account their waiting time exactly as the paper's
+    simulator does.
+    """
+
+    lock: "RWLock"
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in (READ, WRITE):
+            raise ProcessError(f"unknown lock mode {self.mode!r}")
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Parameters
+    ----------
+    generator:
+        The generator driving the process.  It must yield :class:`Hold`
+        and :class:`Acquire` commands only.
+    name:
+        Optional human-readable label used in error messages and traces.
+    """
+
+    __slots__ = ("pid", "name", "generator", "done", "started_at",
+                 "finished_at", "on_done", "pending_acquire")
+
+    def __init__(self, generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self.pid: int = next(_process_ids)
+        self.name: str = name or f"proc-{self.pid}"
+        self.generator = generator
+        self.done: bool = False
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Optional callback ``fn(process)`` invoked when the process ends.
+        self.on_done = None
+        #: The Acquire the process is currently blocked on (trace support).
+        self.pending_acquire = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} pid={self.pid} {state}>"
+
+
+@dataclass
+class LockRequest:
+    """A pending request sitting in an :class:`~repro.des.rwlock.RWLock` queue."""
+
+    process: Process
+    mode: str
+    requested_at: float
+    granted_at: Optional[float] = None
+    #: Set by the lock when the request is cancelled (not used by the
+    #: B-tree algorithms, but part of the queue protocol).
+    cancelled: bool = field(default=False)
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay; only meaningful once granted."""
+        if self.granted_at is None:
+            raise ProcessError("request has not been granted yet")
+        return self.granted_at - self.requested_at

@@ -1,0 +1,184 @@
+"""First-come-first-served reader/writer lock.
+
+This is the lock discipline assumed throughout the paper (Section 3.2,
+"Lock types") and analysed in the appendix (the FCFS R/W queue of
+Johnson's SIGMETRICS '90 paper):
+
+* R (shared) locks may be held concurrently by any number of processes.
+* W (exclusive) locks conflict with everything.
+* Grants are strictly first-come, first-served: a request never overtakes
+  an earlier one, so a compatible reader still waits behind a queued
+  writer.
+
+The lock keeps cheap per-lock accumulators of writer-held / writer-present
+time so the simulator can report the writer utilization :math:`\\rho_w`
+(paper Figure 10) without external instrumentation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set
+
+from repro.des.engine import Simulator
+from repro.des.process import READ, WRITE, LockRequest, Process
+from repro.errors import LockProtocolError
+
+
+class RWLock:
+    """A FCFS shared/exclusive lock with queue-time accounting.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages (the simulator uses node ids).
+    observer:
+        Optional object with an ``on_wait(mode, wait)`` method, called on
+        every grant with the request's queueing delay.  The concurrent
+        B-tree simulator installs a per-level metrics collector here.
+    """
+
+    __slots__ = (
+        "name", "observer", "_readers", "_writer", "_queue",
+        "_last_change", "time_writer_held", "time_writer_present",
+        "time_held_any", "grants_read", "grants_write",
+    )
+
+    def __init__(self, name: str = "", observer=None) -> None:
+        self.name = name
+        self.observer = observer
+        self._readers: Set[Process] = set()
+        self._writer: Optional[Process] = None
+        self._queue: Deque[LockRequest] = deque()
+        # Time-weighted accumulators, advanced lazily on state changes.
+        self._last_change: float = 0.0
+        #: Total time a writer has held the lock.
+        self.time_writer_held: float = 0.0
+        #: Total time a writer has been holding *or waiting* (the paper's
+        #: rho_w is the probability that "a W lock is in the lock queue").
+        self.time_writer_present: float = 0.0
+        #: Total time the lock has been held in any mode.
+        self.time_held_any: float = 0.0
+        self.grants_read: int = 0
+        self.grants_write: int = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def readers(self) -> frozenset:
+        """Processes currently holding the lock in R mode."""
+        return frozenset(self._readers)
+
+    @property
+    def writer(self) -> Optional[Process]:
+        """The process holding the lock in W mode, if any."""
+        return self._writer
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting in the queue."""
+        return len(self._queue)
+
+    def holds(self, process: Process) -> Optional[str]:
+        """Return ``READ``/``WRITE`` if ``process`` holds the lock, else None."""
+        if self._writer is process:
+            return WRITE
+        if process in self._readers:
+            return READ
+        return None
+
+    def writer_waiting(self) -> bool:
+        """True if any W request is queued."""
+        return any(req.mode == WRITE for req in self._queue)
+
+    # ------------------------------------------------------------------
+    # Request / release protocol
+    # ------------------------------------------------------------------
+    def request(self, sim: Simulator, process: Process, mode: str) -> bool:
+        """Request the lock for ``process``.
+
+        Returns True and grants immediately when the lock is free for
+        ``mode`` and nobody is queued ahead; otherwise enqueues the request
+        and returns False.  Queued processes are resumed by ``release``
+        with their queueing delay as the sent value.
+        """
+        if self.holds(process) is not None:
+            raise LockProtocolError(
+                f"{process.name} already holds lock {self.name!r}; "
+                "re-entrant locking is not part of the protocol"
+            )
+        self._advance_clocks(sim.now)
+        if not self._queue and self._compatible(mode):
+            self._admit(process, mode)
+            if self.observer is not None:
+                self.observer.on_wait(mode, 0.0)
+            return True
+        self._queue.append(LockRequest(process, mode, sim.now))
+        return False
+
+    def release(self, sim: Simulator, process: Process) -> None:
+        """Release ``process``'s hold and hand the lock to queued waiters."""
+        self._advance_clocks(sim.now)
+        if self._writer is process:
+            self._writer = None
+        elif process in self._readers:
+            self._readers.remove(process)
+        else:
+            raise LockProtocolError(
+                f"{process.name} released lock {self.name!r} without holding it"
+            )
+        self._dispatch(sim)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compatible(self, mode: str) -> bool:
+        if mode == READ:
+            return self._writer is None
+        return self._writer is None and not self._readers
+
+    def _admit(self, process: Process, mode: str) -> None:
+        if mode == READ:
+            self._readers.add(process)
+            self.grants_read += 1
+        else:
+            self._writer = process
+            self.grants_write += 1
+
+    def _dispatch(self, sim: Simulator) -> None:
+        """Grant the longest compatible prefix of the wait queue."""
+        while self._queue:
+            head = self._queue[0]
+            if not self._compatible(head.mode):
+                break
+            self._queue.popleft()
+            self._admit(head.process, head.mode)
+            head.granted_at = sim.now
+            if self.observer is not None:
+                self.observer.on_wait(head.mode, head.wait)
+            sim.resume(head.process, head.wait)
+            if head.mode == WRITE:
+                # An exclusive grant blocks everything behind it.
+                break
+
+    def _advance_clocks(self, now: float) -> None:
+        dt = now - self._last_change
+        if dt > 0.0:
+            if self._writer is not None:
+                self.time_writer_held += dt
+            if self._writer is not None or self.writer_waiting():
+                self.time_writer_present += dt
+            if self._writer is not None or self._readers:
+                self.time_held_any += dt
+        self._last_change = now
+
+    def finalize(self, now: float) -> None:
+        """Flush the time-weighted accumulators up to ``now``."""
+        self._advance_clocks(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RWLock {self.name!r} readers={len(self._readers)} "
+            f"writer={self._writer is not None} queued={len(self._queue)}>"
+        )

@@ -1,0 +1,102 @@
+"""Event tracing for simulation debugging.
+
+A :class:`TraceLog` attached to a :class:`~repro.des.engine.Simulator`
+records one entry per process lifecycle event and per command the kernel
+executes (hold / acquire / grant / release), in a bounded ring buffer so
+long runs cannot exhaust memory.  The trace is how one answers "what was
+operation 812 doing when the root saturated?" without re-instrumenting
+the algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Event kinds recorded by the engine.
+SPAWN = "spawn"
+FINISH = "finish"
+HOLD = "hold"
+REQUEST = "request"
+GRANT = "grant"
+RELEASE = "release"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    time: float
+    kind: str
+    pid: int
+    process: str
+    #: Event-specific detail: hold duration, lock name + mode, ...
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (f"[{self.time:12.4f}] {self.kind:<8} "
+                f"{self.process} ({self.pid}) {self.detail}")
+
+
+class TraceLog:
+    """Bounded in-memory event log."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, time: float, kind: str, pid: int, process: str,
+               detail: str = "") -> None:
+        self._events.append(TraceEvent(time, kind, pid, process, detail))
+        self._recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events recorded over the whole run (>= len() once the ring
+        has wrapped)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer."""
+        return self._recorded - len(self._events)
+
+    def events(self, kind: Optional[str] = None,
+               pid: Optional[int] = None,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None,
+               ) -> List[TraceEvent]:
+        """Filtered view of the retained events."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if pid is not None and event.pid != pid:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def timeline(self, pid: int) -> List[TraceEvent]:
+        """Everything one process did, in order."""
+        return self.events(pid=pid)
+
+    def format(self, limit: int = 200) -> str:
+        """Human-readable dump of the last ``limit`` events."""
+        tail = list(self._events)[-limit:]
+        lines = [str(event) for event in tail]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier events dropped ...")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle all library failures.  The sub-classes
+mirror the three layers of the system: the analytical model, the
+discrete-event engine, and the B-tree substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class ModelError(ReproError):
+    """Base class for analytical-model failures."""
+
+
+class UnstableQueueError(ModelError):
+    """A lock queue is saturated: no stable solution exists.
+
+    Raised by the FCFS R/W queue solver when the writer utilization fixed
+    point has no root below 1, i.e. the offered load exceeds the queue's
+    capacity.  The paper's Theorem 2 identifies the arrival rate at which
+    this first happens as the maximum throughput.
+    """
+
+    def __init__(self, message: str = "lock queue is saturated (rho_w >= 1)",
+                 level: int | None = None) -> None:
+        super().__init__(message)
+        #: B-tree level of the saturated queue (leaves = 1), if known.
+        self.level = level
+
+
+class ConvergenceError(ModelError):
+    """An iterative solver failed to converge to the requested tolerance."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation failures."""
+
+
+class PopulationOverflowError(SimulationError):
+    """Too many concurrent operations are in flight.
+
+    The paper's simulator aborts a run when the number of concurrent
+    operations exceeds the space allocated for them, which happens when the
+    arrival rate exceeds the algorithm's maximum throughput.  We reproduce
+    that behaviour with this exception so saturation is detected the same
+    way.
+    """
+
+    def __init__(self, population: int, limit: int) -> None:
+        super().__init__(
+            f"concurrent-operation population {population} exceeded the "
+            f"allocation of {limit}; the offered load is unsustainable"
+        )
+        self.population = population
+        self.limit = limit
+
+
+class ProcessError(SimulationError):
+    """A simulation process misused the engine protocol."""
+
+
+class LockProtocolError(SimulationError):
+    """A process violated the lock protocol (e.g. double release)."""
+
+
+class BTreeError(ReproError):
+    """Base class for B-tree structural errors."""
+
+
+class KeyNotFoundError(BTreeError, KeyError):
+    """A delete or lookup referenced a key that is not in the tree."""
+
+
+class InvariantViolationError(BTreeError):
+    """A structural invariant check failed (used by the validator)."""

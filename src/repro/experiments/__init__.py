@@ -1,0 +1,23 @@
+"""Experiment drivers regenerating every figure of the paper.
+
+Each ``figNN`` function in :mod:`repro.experiments.figures` reproduces the
+corresponding paper figure as an :class:`~repro.experiments.common.ExperimentTable`
+(the plotted series as rows).  ``scale`` shrinks the simulation effort for
+quick runs; ``scale=1.0`` matches the paper's 10,000 measured operations
+and 5 seeds.
+
+Use :data:`~repro.experiments.registry.EXPERIMENTS` to enumerate them or
+the ``btree-perf`` console script to run them from the shell.
+"""
+
+from repro.experiments.common import ExperimentTable
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.report import format_table, to_csv
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentTable",
+    "format_table",
+    "get_experiment",
+    "to_csv",
+]

@@ -1,0 +1,108 @@
+"""Shared experiment plumbing: result tables and sweep helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.model.params import ModelConfig
+from repro.model.results import AlgorithmPrediction
+from repro.simulator.config import SimulationConfig
+from repro.simulator.driver import pooled_response_means, run_replications
+
+Analyzer = Callable[..., AlgorithmPrediction]
+
+
+@dataclass
+class ExperimentTable:
+    """The regenerated series of one paper figure.
+
+    ``rows`` hold the plotted points; ``columns`` name them.  ``notes``
+    carry caveats (substitutions, saturated settings, etc.) that the
+    report printer and EXPERIMENTS.md surface alongside the numbers.
+    """
+
+    experiment_id: str
+    title: str
+    figure: str
+    columns: List[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns")
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List:
+        """Extract one column as a list."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def scaled_sim_config(base: SimulationConfig, scale: float) -> SimulationConfig:
+    """Shrink a simulation configuration's effort by ``scale``."""
+    if scale >= 1.0:
+        return base
+    return base.scaled(scale)
+
+
+def sim_seeds(scale: float, full: int = 5) -> int:
+    """Number of replication seeds at ``scale`` (paper uses 5)."""
+    if scale >= 1.0:
+        return full
+    return max(1, min(full, int(round(full * scale * 2))))
+
+
+def model_response(analyzer: Analyzer, config: ModelConfig, rate: float,
+                   operation: str, **kwargs) -> float:
+    """One analytical response-time point; +inf past the knee."""
+    prediction = analyzer(config, rate, **kwargs)
+    return prediction.response(operation)
+
+
+def simulated_response(base: SimulationConfig, rate: float, operation: str,
+                       scale: float, seeds: Optional[int] = None,
+                       ) -> Dict[str, float]:
+    """Pooled simulated response means at ``rate`` (over several seeds)."""
+    config = scaled_sim_config(base.with_rate(rate), scale)
+    n = seeds if seeds is not None else sim_seeds(scale)
+    results = run_replications(config, n_seeds=n)
+    means = pooled_response_means(results)
+    means["_overflow_fraction"] = (
+        sum(1 for r in results if r.overflowed) / len(results))
+    return means
+
+
+def response_sweep(table: ExperimentTable, rates: Sequence[float],
+                   analyzer: Analyzer, model_config: ModelConfig,
+                   operation: str, sim_base: Optional[SimulationConfig],
+                   scale: float, analyzer_kwargs: Optional[dict] = None,
+                   ) -> None:
+    """Fill ``table`` with (rate, model, sim) response-time rows.
+
+    When ``sim_base`` is None only the analytical column is produced
+    (columns must match).
+    """
+    kwargs = analyzer_kwargs or {}
+    for rate in rates:
+        model = model_response(analyzer, model_config, rate, operation,
+                               **kwargs)
+        if sim_base is None:
+            table.add(rate, _rounded(model))
+        else:
+            sim = simulated_response(sim_base, rate, operation, scale)
+            table.add(rate, _rounded(model), _rounded(sim[operation]))
+
+
+def _rounded(value: float, digits: int = 3) -> float:
+    if value is None or math.isnan(value):
+        return math.nan
+    if math.isinf(value):
+        return math.inf
+    return round(value, digits)

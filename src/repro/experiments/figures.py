@@ -1,0 +1,366 @@
+"""Drivers for every figure of the paper's evaluation (Figures 3-16).
+
+Each function regenerates the figure's plotted series as an
+:class:`~repro.experiments.common.ExperimentTable`.  Conventions:
+
+* ``scale`` shrinks simulation effort (measured operations and seeds);
+  ``scale=1.0`` reproduces the paper's 10,000 operations over 5 seeds.
+* ``simulate=False`` produces the analytical series only (Figures 11 and
+  13-16 are analytical in the paper as well).
+* Response times are in the paper's units (one root search = 1).
+
+The default configuration is Section 5.3: order 13, ~40,000 items
+(5 levels, root fanout ~6), 2 in-memory levels, disk cost 5, mix
+(.3, .5, .2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.model import (
+    LEAF_ONLY_RECOVERY,
+    NAIVE_RECOVERY,
+    NO_RECOVERY,
+    analyze_link,
+    analyze_lock_coupling,
+    analyze_optimistic,
+    analyze_optimistic_with_recovery,
+    arrival_rate_for_root_utilization,
+    max_throughput,
+    paper_default_config,
+    rule_of_thumb_1,
+    rule_of_thumb_2,
+    rule_of_thumb_3,
+    rule_of_thumb_4,
+)
+from repro.model.link import expected_crossings_per_descent
+from repro.model.params import CostModel, ModelConfig, TreeShape
+from repro.errors import ConvergenceError
+from repro.experiments.common import (
+    ExperimentTable,
+    response_sweep,
+    scaled_sim_config,
+    sim_seeds,
+    simulated_response,
+)
+from repro.simulator.config import SimulationConfig
+from repro.simulator.driver import run_replications
+
+#: Arrival-rate grids spanning low load up to each algorithm's knee
+#: (computed from the analytical maximum throughputs at D=5).
+NAIVE_RATES = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.55)
+OPTIMISTIC_RATES = (0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+LINK_RATES = (1.0, 2.0, 5.0, 10.0, 20.0, 30.0)
+NODE_SIZES = (7, 13, 21, 31, 43, 59, 81, 101)
+
+
+def _sim_base(algorithm: str, **overrides) -> SimulationConfig:
+    return SimulationConfig(algorithm=algorithm, arrival_rate=0.1,
+                            **overrides)
+
+
+def _response_figure(experiment_id: str, figure: str, title: str,
+                     algorithm: str, analyzer, rates: Sequence[float],
+                     operation: str, scale: float, simulate: bool,
+                     ) -> ExperimentTable:
+    columns = ["arrival_rate", f"model_{operation}_response"]
+    if simulate:
+        columns.append(f"sim_{operation}_response")
+    table = ExperimentTable(experiment_id, title, figure, columns)
+    sim_base = _sim_base(algorithm) if simulate else None
+    response_sweep(table, rates, analyzer, paper_default_config(),
+                   operation, sim_base, scale)
+    table.note("disk cost D=5, 2 in-memory levels, N=13, ~40k items, "
+               "mix (.3,.5,.2)")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figures 3-8: response time vs arrival rate, analysis vs simulation
+# ----------------------------------------------------------------------
+def fig03(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Naive Lock-coupling insert response time vs arrival rate."""
+    return _response_figure("fig03", "Figure 3",
+                            "Naive Lock-coupling insert response vs arrival rate",
+                            "naive-lock-coupling", analyze_lock_coupling,
+                            NAIVE_RATES, "insert", scale, simulate)
+
+
+def fig04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Naive Lock-coupling search response time vs arrival rate."""
+    return _response_figure("fig04", "Figure 4",
+                            "Naive Lock-coupling search response vs arrival rate",
+                            "naive-lock-coupling", analyze_lock_coupling,
+                            NAIVE_RATES, "search", scale, simulate)
+
+
+def fig05(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Optimistic Descent insert response time vs arrival rate."""
+    return _response_figure("fig05", "Figure 5",
+                            "Optimistic Descent insert response vs arrival rate",
+                            "optimistic-descent", analyze_optimistic,
+                            OPTIMISTIC_RATES, "insert", scale, simulate)
+
+
+def fig06(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Optimistic Descent search response time vs arrival rate."""
+    return _response_figure("fig06", "Figure 6",
+                            "Optimistic Descent search response vs arrival rate",
+                            "optimistic-descent", analyze_optimistic,
+                            OPTIMISTIC_RATES, "search", scale, simulate)
+
+
+def fig07(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Link-type insert response time vs arrival rate."""
+    return _response_figure("fig07", "Figure 7",
+                            "Link-type insert response vs arrival rate",
+                            "link-type", analyze_link,
+                            LINK_RATES, "insert", scale, simulate)
+
+
+def fig08(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Link-type search response time vs arrival rate."""
+    return _response_figure("fig08", "Figure 8",
+                            "Link-type search response vs arrival rate",
+                            "link-type", analyze_link,
+                            LINK_RATES, "search", scale, simulate)
+
+
+# ----------------------------------------------------------------------
+# Figure 9: link crossings are rare
+# ----------------------------------------------------------------------
+def fig09(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Link-crossing rate vs arrival rate (negligible-effect claim)."""
+    config = paper_default_config(disk_cost=10.0)
+    columns = ["arrival_rate", "model_crossings_per_1k_ops"]
+    if simulate:
+        columns += ["sim_crossings_per_1k_ops", "sim_ops"]
+    table = ExperimentTable(
+        "fig09", "Link-type link crossings vs arrival rate", "Figure 9",
+        columns)
+    sim_base = _sim_base("link-type",
+                         costs=CostModel(disk_cost=10.0)) if simulate else None
+    for rate in LINK_RATES:
+        model_per_1k = round(
+            1000.0 * expected_crossings_per_descent(config, rate), 3)
+        if not simulate:
+            table.add(rate, model_per_1k)
+            continue
+        sim_config = scaled_sim_config(sim_base.with_rate(rate), scale)
+        results = run_replications(sim_config, n_seeds=sim_seeds(scale))
+        ops = sum(r.measured_operations for r in results)
+        crossings = sum(r.link_crossings for r in results)
+        per_1k = 1000.0 * crossings / ops if ops else math.nan
+        table.add(rate, model_per_1k, round(per_1k, 3), ops)
+    table.note("disk cost D=10 (as in the paper's Figure 9); crossings "
+               "are rare at every sustainable load")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 10: root writer utilization grows non-linearly
+# ----------------------------------------------------------------------
+def fig10(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Naive Lock-coupling root writer utilization vs arrival rate."""
+    config = paper_default_config()
+    columns = ["arrival_rate", "model_rho_w_root"]
+    if simulate:
+        columns.append("sim_rho_w_root")
+    table = ExperimentTable(
+        "fig10", "Root writer utilization, Naive Lock-coupling",
+        "Figure 10", columns)
+    sim_base = _sim_base("naive-lock-coupling") if simulate else None
+    for rate in NAIVE_RATES:
+        prediction = analyze_lock_coupling(config, rate)
+        rho = prediction.root_writer_utilization
+        rho = math.inf if math.isinf(rho) else round(rho, 4)
+        if not simulate:
+            table.add(rate, rho)
+            continue
+        sim_config = scaled_sim_config(sim_base.with_rate(rate), scale)
+        results = run_replications(sim_config, n_seeds=sim_seeds(scale))
+        usable = [r.root_writer_utilization for r in results
+                  if not r.overflowed and not math.isnan(
+                      r.root_writer_utilization)]
+        sim_rho = sum(usable) / len(usable) if usable else math.inf
+        table.add(rate, rho, round(sim_rho, 4) if usable else math.inf)
+    table.note("the simulated value samples writer *presence* (holding or "
+               "queued) at the root lock, a slight over-estimate of the "
+               "model's aggregate-customer rho_w")
+    table.note("going from rho_w=.5 to rho_w=1 takes less than a 50% "
+               "arrival-rate increase (the cost of lock-coupling)")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 11: maximum throughput vs disk cost
+# ----------------------------------------------------------------------
+def fig11(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
+    """Naive Lock-coupling maximum throughput vs disk access cost."""
+    del scale, simulate  # analytical figure
+    table = ExperimentTable(
+        "fig11", "Naive Lock-coupling maximum throughput vs disk cost",
+        "Figure 11", ["disk_cost", "max_throughput"])
+    for disk_cost in (1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0, 20.0):
+        config = paper_default_config(disk_cost=disk_cost)
+        table.add(disk_cost,
+                  round(max_throughput(analyze_lock_coupling, config), 4))
+    table.note("locking nodes two levels below the root (the first "
+               "on-disk level) dominates as D grows")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 12: the three algorithms compared
+# ----------------------------------------------------------------------
+def fig12(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
+    """Insert response comparison: Naive vs Optimistic vs Link-type."""
+    config = paper_default_config()
+    columns = ["arrival_rate", "naive_insert", "optimistic_insert",
+               "link_insert"]
+    if simulate:
+        columns += ["sim_naive_insert", "sim_optimistic_insert",
+                    "sim_link_insert"]
+    table = ExperimentTable(
+        "fig12", "Comparison of insert response times (D=5)",
+        "Figure 12", columns)
+    rates = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+    analyzers = (analyze_lock_coupling, analyze_optimistic, analyze_link)
+    algorithms = ("naive-lock-coupling", "optimistic-descent", "link-type")
+    for rate in rates:
+        row = [rate]
+        for analyzer in analyzers:
+            value = analyzer(config, rate).response("insert")
+            row.append(math.inf if math.isinf(value) else round(value, 3))
+        if simulate:
+            for algorithm in algorithms:
+                means = simulated_response(_sim_base(algorithm), rate,
+                                           "insert", scale)
+                value = means["insert"]
+                row.append(math.inf if means["_overflow_fraction"] == 1.0
+                           else round(value, 3))
+        table.add(*row)
+    table.note("Link-type > Optimistic Descent > Naive Lock-coupling, "
+               "each by a wide margin (paper Section 5.3)")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figures 13/14: rules of thumb vs the full analysis
+# ----------------------------------------------------------------------
+def _thumb_figure(experiment_id: str, figure: str, title: str,
+                  analyzer, full_rule, limit_rule) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id, title, figure,
+        ["node_size", "disk_cost", "analytical_rate_rho_half",
+         "rule_of_thumb", "limit_rule_of_thumb"])
+    for disk_cost in (1.0, 10.0):
+        for order in NODE_SIZES:
+            config = paper_default_config(order=order, disk_cost=disk_cost)
+            try:
+                analytical = arrival_rate_for_root_utilization(
+                    analyzer, config, target=0.5)
+            except ConvergenceError:
+                analytical = math.inf
+            table.add(order, disk_cost, round(analytical, 4),
+                      round(full_rule(config), 4),
+                      round(limit_rule(config), 4))
+    table.note("tree shape re-idealised per node size at ~40k items; "
+               "rates in units of 1/root-search")
+    return table
+
+
+def fig13(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
+    """Rule of Thumb 1 and limit Rule 2 vs the Naive LC analysis."""
+    del scale, simulate
+    table = _thumb_figure(
+        "fig13", "Figure 13",
+        "Naive Lock-coupling rule-of-thumb vs analytical lambda(rho=.5)",
+        analyze_lock_coupling, rule_of_thumb_1,
+        lambda config: rule_of_thumb_2(config))
+    table.note("the effective maximum rate is roughly independent of the "
+               "node size (Rule 2)")
+    return table
+
+
+def fig14(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
+    """Rule of Thumb 3 and limit Rule 4 vs the Optimistic analysis."""
+    del scale, simulate
+    table = _thumb_figure(
+        "fig14", "Figure 14",
+        "Optimistic Descent rule-of-thumb vs analytical lambda(rho=.5)",
+        analyze_optimistic, rule_of_thumb_3, rule_of_thumb_4)
+    table.note("the effective maximum rate grows ~ N/log^2(N) with the "
+               "node size (Rule 4): make nodes large for Optimistic Descent")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figures 15/16: recovery policies
+# ----------------------------------------------------------------------
+def _recovery_figure(experiment_id: str, figure: str, order: int,
+                     shape: Optional[TreeShape], rates: Sequence[float],
+                     scale: float, simulate: bool) -> ExperimentTable:
+    config = paper_default_config(order=order, disk_cost=10.0)
+    if shape is not None:
+        config = ModelConfig(mix=config.mix, costs=config.costs,
+                             shape=shape, order=order)
+    columns = ["arrival_rate", "no_recovery_insert",
+               "leaf_only_insert", "naive_recovery_insert"]
+    if simulate:
+        columns += ["sim_no_recovery", "sim_leaf_only", "sim_naive_recovery"]
+    table = ExperimentTable(
+        experiment_id,
+        f"Recovery comparison, Optimistic Descent insert response, N={order}",
+        figure, columns)
+    for rate in rates:
+        row = [rate]
+        for policy in (NO_RECOVERY, LEAF_ONLY_RECOVERY, NAIVE_RECOVERY):
+            prediction = analyze_optimistic_with_recovery(
+                config, rate, policy=policy, t_trans=100.0)
+            value = prediction.response("insert")
+            row.append(math.inf if math.isinf(value) else round(value, 3))
+        if simulate:
+            for recovery in ("no-recovery", "leaf-only-recovery",
+                             "naive-recovery"):
+                base = _sim_base("optimistic-descent", order=order,
+                                 costs=CostModel(disk_cost=10.0),
+                                 recovery=recovery, t_trans=100.0)
+                means = simulated_response(base, rate, "insert", scale)
+                row.append(math.inf if means["_overflow_fraction"] == 1.0
+                           else round(means["insert"], 3))
+        table.add(*row)
+    table.note("D=10, T_trans=100; leaf-only recovery costs almost "
+               "nothing over no recovery, naive recovery is far worse")
+    if simulate:
+        table.note("the simulator's naive recovery is strict 2PL (every "
+                   "W lock retained), harsher than the analytical "
+                   "Pr[F(i)]*T_trans approximation; see DESIGN.md")
+    return table
+
+
+def fig15(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
+    """Recovery comparison with the paper's N=13, 5-level tree."""
+    rates = (0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5)
+    return _recovery_figure("fig15", "Figure 15", 13, None, rates,
+                            scale, simulate)
+
+
+def fig16(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
+    """Recovery comparison with N=59 and a 4-level tree.
+
+    A 40k-item tree of order 59 only reaches 3 levels at the ln 2 fill
+    factor; the paper states 4 levels, which we realise with ~500k items
+    (root fanout ~7.4) — see EXPERIMENTS.md.
+    """
+    shape = TreeShape.ideal(500_000, 59)
+    rates = (0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+    table = _recovery_figure("fig16", "Figure 16", 59, shape, rates,
+                             scale, simulate=False)
+    del scale, simulate  # the 500k-item tree is analytical only
+    table.note("paper states N=59 gives 4 levels; at ln2 fill that needs "
+               ">67k items, so the shape uses 500k items (height 4, "
+               "root fanout ~7)")
+    return table

@@ -1,0 +1,99 @@
+"""ASCII charts for experiment tables.
+
+The paper's deliverables are *figures*; this module renders a regenerated
+series as a terminal chart so ``btree-perf run fig03 --plot`` shows the
+curve's shape (flat, knee, blow-up) without leaving the shell.  Saturated
+points (+inf) are drawn as ``^`` markers pinned to the top of the frame.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentTable
+
+#: Marker characters assigned to series in column order.
+MARKERS = "ox+*#@%&"
+
+
+def render_chart(table: ExperimentTable,
+                 y_columns: Optional[Sequence[str]] = None,
+                 width: int = 64, height: int = 18) -> str:
+    """Render ``table`` as an ASCII chart.
+
+    The first column is the x axis; ``y_columns`` defaults to every
+    other numeric column.  Returns the chart with a legend.
+    """
+    if width < 16 or height < 6:
+        raise ConfigurationError("chart needs width >= 16 and height >= 6")
+    if not table.rows:
+        raise ConfigurationError("cannot plot an empty table")
+    x_name = table.columns[0]
+    names = list(y_columns) if y_columns is not None \
+        else [c for c in table.columns[1:]]
+    for name in names:
+        if name not in table.columns:
+            raise ConfigurationError(f"no column {name!r} in {table.columns}")
+
+    xs = [float(v) for v in table.column(x_name)]
+    series = {name: [float(v) for v in table.column(name)]
+              for name in names}
+
+    finite = [v for values in series.values() for v in values
+              if math.isfinite(v)]
+    if not finite:
+        raise ConfigurationError("no finite points to plot")
+    y_low, y_high = min(finite), max(finite)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(xs), max(xs)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def x_pos(x: float) -> int:
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def y_pos(y: float) -> int:
+        frac = (y - y_low) / (y_high - y_low)
+        return (height - 1) - round(frac * (height - 1))
+
+    for index, name in enumerate(names):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(xs, series[name]):
+            column = x_pos(x)
+            if math.isinf(y):
+                if grid[0][column] == " ":
+                    grid[0][column] = "^"
+                continue
+            if math.isnan(y):
+                continue
+            row = y_pos(y)
+            grid[row][column] = marker if grid[row][column] == " " else "*"
+
+    lines = [f"{table.experiment_id}: {table.title}"]
+    label_width = 10
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:10.4g}"
+        elif row_index == height - 1:
+            label = f"{y_low:10.4g}"
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    left = f"{x_low:g}"
+    right = f"{x_high:g}"
+    padding = width - len(left) - len(right)
+    lines.append(" " * (label_width + 1) + left + " " * max(1, padding)
+                 + right)
+    lines.append(" " * (label_width + 1) + f"x: {x_name}")
+    legend = ", ".join(
+        f"{MARKERS[i % len(MARKERS)]} = {name}"
+        for i, name in enumerate(names))
+    lines.append(" " * (label_width + 1) + legend
+                 + "   (^ = saturated, * = overlap)")
+    return "\n".join(lines) + "\n"

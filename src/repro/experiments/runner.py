@@ -1,0 +1,101 @@
+"""Command-line entry point (``btree-perf``).
+
+Usage::
+
+    btree-perf list
+    btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv]
+    btree-perf all [--scale 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.report import format_table, to_csv
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="btree-perf",
+        description="Regenerate the figures of Johnson & Shasha (PODS 1990)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+    sub.add_parser("claims", help="evaluate the paper's in-text claims")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. fig03")
+    _common_run_flags(run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    _common_run_flags(everything)
+    return parser
+
+
+def _common_run_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="simulation effort scale (1.0 = paper scale)")
+    sub.add_argument("--no-sim", action="store_true",
+                     help="analytical series only (skip the simulator)")
+    sub.add_argument("--csv", action="store_true",
+                     help="emit CSV instead of an aligned table")
+    sub.add_argument("--plot", action="store_true",
+                     help="also render the series as an ASCII chart")
+
+
+def _emit(table, as_csv: bool, plot: bool = False) -> None:
+    sys.stdout.write(to_csv(table) if as_csv else format_table(table))
+    if plot:
+        from repro.experiments.plot import render_chart
+        sys.stdout.write("\n" + render_chart(table))
+    sys.stdout.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args) -> int:
+    try:
+        if args.command == "list":
+            for experiment in EXPERIMENTS.values():
+                print(f"{experiment.experiment_id}  {experiment.figure:<10}"
+                      f"  {experiment.title}")
+            return 0
+        if args.command == "claims":
+            from repro.experiments.claims import evaluate_claims, format_claims
+            results = evaluate_claims()
+            sys.stdout.write(format_claims(results))
+            return 0 if all(r.holds for r in results) else 1
+        simulate: Optional[bool] = False if args.no_sim else None
+        if args.command == "run":
+            experiment = get_experiment(args.experiment_id)
+            _emit(experiment.run(scale=args.scale, simulate=simulate),
+                  args.csv, args.plot)
+            return 0
+        # "all"
+        for experiment in EXPERIMENTS.values():
+            _emit(experiment.run(scale=args.scale, simulate=simulate),
+                  args.csv, args.plot)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

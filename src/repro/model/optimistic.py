@@ -1,0 +1,176 @@
+"""Analysis of the Optimistic Descent algorithm (paper Section 5.1).
+
+Optimistic Descent reuses the Naive Lock-coupling machinery with a
+different operation classification.  An update first descends like a
+search (R locks, lock-coupling) and W-locks only the leaf; if the leaf is
+unsafe it releases everything and re-descends with W locks.  The paper
+models the second pass as a separate *redo* operation class arriving at
+rate ``q_i Pr[F(1)] lambda`` (redo-deletes are negligible because
+``Pr[Em] ~= 0`` under merge-at-empty).
+
+Consequences for the per-level queues:
+
+* readers at every level are *all* first descents (searches and updates);
+  at level 2 an updating reader holds its R lock across the leaf W-lock
+  wait, so its hold time uses ``W(1)`` instead of ``R(1)``;
+* writers above the leaves are only the redo operations, which behave
+  exactly like Naive Lock-coupling inserts (Theorem 3's hyperexponential
+  server applies);
+* at the leaves, writers are the first-descent updates plus the redos.
+
+The ``leaf_hold_extra`` / ``internal_hold_extra`` parameters implement the
+Section 7 recovery extension: they add lock *retention* time (until the
+enclosing transaction commits) to the W-lock holds.  See
+:mod:`repro.model.recovery`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, UnstableQueueError
+from repro.model.mg1 import LockCouplingServer
+from repro.model.occupancy import OccupancyModel
+from repro.model.params import ModelConfig
+from repro.model.results import (
+    DELETE,
+    INSERT,
+    SEARCH,
+    AlgorithmPrediction,
+    LevelSolution,
+    unstable_prediction,
+)
+from repro.model.rwqueue import RWQueueInput, solve_rw_queue
+
+ALGORITHM = "optimistic-descent"
+
+
+def analyze_optimistic(config: ModelConfig, arrival_rate: float,
+                       occupancy: Optional[OccupancyModel] = None,
+                       leaf_hold_extra: float = 0.0,
+                       internal_hold_extra: Optional[Sequence[float]] = None,
+                       ) -> AlgorithmPrediction:
+    """Predict Optimistic Descent performance at ``arrival_rate``.
+
+    ``leaf_hold_extra`` is added to every leaf W-lock hold;
+    ``internal_hold_extra[i-1]`` (indexed by level) is added to the W-lock
+    hold at level i >= 2.  Both default to zero (no recovery retention).
+    """
+    if arrival_rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {arrival_rate}")
+
+    mix, costs, shape = config.mix, config.costs, config.shape
+    h = shape.height
+    occ = occupancy if occupancy is not None \
+        else OccupancyModel.corollary1(mix, config.order, h)
+    extras = list(internal_hold_extra) if internal_hold_extra is not None \
+        else [0.0] * h
+    if len(extras) != h:
+        raise ConfigurationError(
+            f"internal_hold_extra needs {h} entries, got {len(extras)}")
+
+    se = [costs.se(level, h) for level in range(1, h + 1)]
+    sp = [costs.sp(level, h) for level in range(1, h + 1)]
+    modify = costs.modify(h)
+
+    lam = [arrival_rate * shape.arrival_share(level)
+           for level in range(1, h + 1)]
+    # Fraction of all operations that redo (make a W-lock second descent).
+    redo_fraction = (mix.q_insert * occ.full(1)
+                     + mix.q_delete * occ.empty(1))
+
+    t_redo: List[float] = []     # W-lock hold of a redo op at each level
+    levels: List[LevelSolution] = []
+
+    for level in range(1, h + 1):
+        i = level - 1
+        if level == 1:
+            t_x = modify + leaf_hold_extra
+            mu_r = 1.0 / se[0]
+            lam_r = mix.q_search * lam[0]
+            # First descents W-lock the leaf too; they hold it for the
+            # modify (plus any recovery retention), same as a redo.
+            lam_w = (mix.q_update + redo_fraction) * lam[0]
+            mu_w = 1.0 / t_x
+        else:
+            below = levels[i - 1]
+            t_x = (se[i] + below.W
+                   + occ.full(level - 1) * t_redo[i - 1]
+                   + sp[i - 1] * occ.split_propagation(level - 1)
+                   + extras[i])
+            # Readers: all first descents.  At level 2 the updaters hold
+            # their R lock while waiting for the leaf W lock.
+            if level == 2:
+                hold_r = (mix.q_search * (se[i] + below.R)
+                          + mix.q_update * (se[i] + below.W))
+            else:
+                hold_r = se[i] + below.R
+            mu_r = 1.0 / hold_r
+            lam_r = lam[i]
+            lam_w = redo_fraction * lam[i]
+            mu_w = 1.0 / t_x
+        t_redo.append(t_x)
+
+        try:
+            queue = solve_rw_queue(
+                RWQueueInput(lambda_r=lam_r, lambda_w=lam_w,
+                             mu_r=mu_r, mu_w=mu_w),
+                level=level,
+            )
+        except UnstableQueueError:
+            return unstable_prediction(ALGORITHM, arrival_rate, level)
+
+        drain = queue.mean_reader_drain
+        if level == 1 or lam_w == 0.0:
+            wait_r = (queue.rho_w / (1.0 - queue.rho_w)
+                      * (1.0 / mu_w + drain)) if lam_w > 0 else 0.0
+        else:
+            below = levels[i - 1]
+            # Redo operations lock-couple, so Theorem 3's server applies.
+            # All redos are effectively inserts (Pr[Em] ~= 0).
+            p_f = occ.full(level - 1)
+            inv_mu_o = (below.R / below.rho_w + below.r_u) \
+                if below.rho_w > 0.0 else 0.0
+            server = LockCouplingServer(
+                t_e=se[i] + drain,
+                p_f=p_f,
+                t_f=t_redo[i - 1] + sp[i - 1] * occ.split_propagation(level - 2),
+                rho_o=below.rho_w,
+                inv_mu_o=inv_mu_o,
+                r_e_child=below.r_e,
+            )
+            wait_r = server.wait(lam_w, queue.rho_w)
+        wait_w = wait_r + drain
+
+        levels.append(LevelSolution(
+            level=level, lambda_r=lam_r, lambda_w=lam_w,
+            mu_r=mu_r, mu_w=mu_w, rho_w=queue.rho_w,
+            r_u=queue.r_u, r_e=queue.r_e, R=wait_r, W=wait_w,
+        ))
+
+    responses = _responses(levels, se, sp, modify, occ, mix, h)
+    return AlgorithmPrediction(
+        algorithm=ALGORITHM, arrival_rate=arrival_rate, stable=True,
+        levels=levels, response_times=responses,
+    )
+
+
+def _responses(levels: List[LevelSolution], se: List[float],
+               sp: List[float], modify: float, occ: OccupancyModel,
+               mix, h: int) -> dict:
+    """Response times: first descent plus Pr[F(1)] times a redo descent.
+
+    The redo descent is a Naive Lock-coupling insert (Theorem 5's Per(I))
+    evaluated with *this* system's lock waits.
+    """
+    per_search = sum(se[i] + levels[i].R for i in range(h))
+    first_descent = (modify + levels[0].W
+                     + sum(se[i] + levels[i].R for i in range(1, h)))
+    redo_insert = (modify
+                   + sum(se[i] for i in range(1, h))
+                   + sum(level.W for level in levels)
+                   + sum(occ.split_propagation(j) * sp[j - 1]
+                         for j in range(1, h)))
+    per_insert = first_descent + occ.full(1) * redo_insert
+    per_delete = first_descent + occ.empty(1) * redo_insert
+    return {SEARCH: per_search, INSERT: per_insert, DELETE: per_delete}

@@ -1,0 +1,135 @@
+"""The FCFS reader/writer queue (paper appendix, Theorem 6).
+
+Johnson's approximate analysis treats the queue through *aggregate
+customers*: a writer together with all the readers immediately ahead of it
+for which it must wait.  With reader/writer arrival rates
+``lambda_r, lambda_w`` and service rates ``mu_r, mu_w``:
+
+.. math::
+
+    r_u = \\ln(1 + \\rho_w \\lambda_r / \\lambda_w) / \\mu_r
+
+    r_e = \\ln(1 + (1 + \\rho_w)\\lambda_r / (\\mu_r + \\lambda_w)) / \\mu_r
+
+where :math:`\\rho_w`, the probability that a writer is present, is the
+root of the fixed point
+
+.. math::
+
+    \\rho_w = \\lambda_w\\Big(\\frac{1}{\\mu_w} + \\rho_w r_u(\\rho_w)
+              + (1-\\rho_w) r_e(\\rho_w)\\Big).
+
+The aggregate customer's service time is
+:math:`T_a = 1/\\mu_w + \\rho_w r_u + (1-\\rho_w) r_e`.
+
+``r_u`` is the reader drain a writer sees when another writer was already
+queued on arrival; ``r_e`` when the queue had no writer.  The logarithm
+reflects the fact that serving n concurrent readers takes
+:math:`O(\\log n)` expected time (the max of n exponentials).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.errors import ConfigurationError, UnstableQueueError
+
+
+@dataclass(frozen=True)
+class RWQueueInput:
+    """Arrival and service rates of one FCFS R/W queue."""
+
+    lambda_r: float
+    lambda_w: float
+    mu_r: float
+    mu_w: float
+
+    def __post_init__(self) -> None:
+        if self.lambda_r < 0 or self.lambda_w < 0:
+            raise ConfigurationError("arrival rates must be non-negative")
+        if self.lambda_r > 0 and self.mu_r <= 0:
+            raise ConfigurationError("readers arrive but mu_r <= 0")
+        if self.lambda_w > 0 and self.mu_w <= 0:
+            raise ConfigurationError("writers arrive but mu_w <= 0")
+
+
+@dataclass(frozen=True)
+class RWQueueSolution:
+    """Fixed-point solution of Theorem 6."""
+
+    #: Probability that a W lock is present (holding or queued).
+    rho_w: float
+    #: Expected reader drain seen by a writer that found another writer queued.
+    r_u: float
+    #: Expected reader drain seen by a writer that found no writer queued.
+    r_e: float
+    #: Expected service time of an aggregate customer.
+    aggregate_service_time: float
+
+    @property
+    def mean_reader_drain(self) -> float:
+        """rho_w * r_u + (1 - rho_w) * r_e — the reader component of the
+        aggregate customer."""
+        return self.rho_w * self.r_u + (1.0 - self.rho_w) * self.r_e
+
+
+def _reader_drains(rho: float, q: RWQueueInput) -> tuple:
+    """(r_u, r_e) at writer presence ``rho``."""
+    if q.lambda_r == 0.0:
+        return 0.0, 0.0
+    if q.lambda_w == 0.0:
+        # No writers: the drains are irrelevant; define the limiting r_e.
+        r_e = math.log1p((1.0 + rho) * q.lambda_r / (q.mu_r + q.lambda_w)) / q.mu_r
+        return 0.0, r_e
+    r_u = math.log1p(rho * q.lambda_r / q.lambda_w) / q.mu_r
+    r_e = math.log1p((1.0 + rho) * q.lambda_r / (q.mu_r + q.lambda_w)) / q.mu_r
+    return r_u, r_e
+
+
+def _fixed_point_rhs(rho: float, q: RWQueueInput) -> float:
+    r_u, r_e = _reader_drains(rho, q)
+    return q.lambda_w * (1.0 / q.mu_w + rho * r_u + (1.0 - rho) * r_e)
+
+
+def solve_rw_queue(q: RWQueueInput, tol: float = 1e-12,
+                   level: int | None = None) -> RWQueueSolution:
+    """Solve the Theorem 6 fixed point for ``q``.
+
+    Raises :class:`~repro.errors.UnstableQueueError` when no root exists
+    in [0, 1) — i.e. the writer load saturates the queue.  ``level`` is
+    attached to the exception for diagnostics.
+    """
+    if q.lambda_w == 0.0:
+        r_u, r_e = _reader_drains(0.0, q)
+        return RWQueueSolution(rho_w=0.0, r_u=r_u, r_e=r_e,
+                               aggregate_service_time=0.0)
+
+    def g(rho: float) -> float:
+        return rho - _fixed_point_rhs(rho, q)
+
+    # g(0) < 0 always (writers arrive, so f(0) > 0).  The queue is stable
+    # iff g crosses zero before rho = 1.
+    upper = 1.0 - 1e-12
+    if g(upper) <= 0.0:
+        raise UnstableQueueError(
+            f"no stable writer utilization: offered load rho_w >= 1 "
+            f"(lambda_w={q.lambda_w:.6g}, mu_w={q.mu_w:.6g})",
+            level=level,
+        )
+    rho = float(brentq(g, 0.0, upper, xtol=tol))
+    r_u, r_e = _reader_drains(rho, q)
+    t_a = 1.0 / q.mu_w + rho * r_u + (1.0 - rho) * r_e
+    return RWQueueSolution(rho_w=rho, r_u=r_u, r_e=r_e,
+                           aggregate_service_time=t_a)
+
+
+def writer_utilization(q: RWQueueInput) -> float:
+    """rho_w, or +inf when the queue is saturated (convenience for
+    throughput searches that probe past the stability boundary)."""
+    try:
+        return solve_rw_queue(q).rho_w
+    except UnstableQueueError:
+        return math.inf

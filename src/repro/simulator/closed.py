@@ -1,0 +1,143 @@
+"""Closed-system simulation: a fixed multiprogramming level.
+
+The paper's introduction frames the problem in closed-system terms — a
+transaction-processing system with "a multiprocessing level around 100"
+— while its analysis uses an open arrival stream (Section 3.1 makes the
+distinction explicit, contrasting with the closed analyses of Bayer &
+Schkolnick and Ellis).  This module adds the closed mode: a fixed number
+of *terminal* processes, each issuing one B-tree operation at a time and
+(optionally) thinking between operations.
+
+Running the same algorithms in both modes is the textbook consistency
+check: a closed system with multiprogramming level N drives the B-tree
+at its throughput limit as N grows, and that limit must match Theorem
+2's open-system maximum throughput.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.btree.builder import build_tree
+from repro.btree.node import Node
+from repro.des.engine import Simulator
+from repro.des.process import Hold
+from repro.des.rwlock import RWLock
+from repro.errors import ConfigurationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.costs import ServiceTimeSampler
+from repro.simulator.driver import (
+    _ALGORITHM_MODULES,
+    _GatedObserver,
+    make_key_picker,
+)
+from repro.simulator.metrics import MetricsCollector, SimulationResult, summarize
+from repro.simulator.operations import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_SEARCH,
+    OperationContext,
+    pick_resident_key,
+)
+
+#: Interval between root-utilization samples (as in the open driver).
+_ROOT_SAMPLE_INTERVAL = 1.0
+
+
+def run_closed_simulation(config: SimulationConfig,
+                          multiprogramming_level: int,
+                          think_time: float = 0.0) -> SimulationResult:
+    """Run ``config``'s algorithm under a fixed population of
+    ``multiprogramming_level`` concurrent operations.
+
+    ``config.arrival_rate`` is ignored (the population is the load
+    control); ``think_time`` is the mean exponential pause a terminal
+    takes between operations (0 = back-to-back).  The returned
+    :class:`~repro.simulator.metrics.SimulationResult` reports the
+    achieved throughput — the closed system's primary output.
+    """
+    if multiprogramming_level < 1:
+        raise ConfigurationError(
+            f"multiprogramming level must be >= 1, got "
+            f"{multiprogramming_level}")
+    if think_time < 0:
+        raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
+
+    module = _ALGORITHM_MODULES[config.algorithm]
+    seed_root = random.Random(config.seed)
+    rng_build = random.Random(seed_root.randrange(2 ** 63))
+    rng_keys = random.Random(seed_root.randrange(2 ** 63))
+    rng_service = random.Random(seed_root.randrange(2 ** 63))
+    rng_think = random.Random(seed_root.randrange(2 ** 63))
+
+    metrics = MetricsCollector()
+
+    def attach_lock(node: Node) -> None:
+        node.lock = RWLock(name=f"n{node.node_id}",
+                           observer=_GatedObserver(metrics, node.level))
+
+    tree = build_tree(
+        config.n_items, order=config.order,
+        insert_fraction=config.mix.insert_share or 1.0,
+        merge_policy=config.merge_policy, key_space=config.key_space,
+        rng=rng_build, on_new_node=attach_lock,
+    )
+    sim = Simulator()
+    sampler = ServiceTimeSampler(config.costs, tree, rng_service)
+    ctx = OperationContext(sim, tree, sampler, metrics, rng_keys,
+                           recovery=config.recovery,
+                           t_trans=config.t_trans)
+    warmup = config.warmup_operations
+    target = config.n_operations
+    completions = [0]
+
+    picker = make_key_picker(config, rng_keys)
+
+    def draw_operation() -> tuple:
+        u = rng_keys.random()
+        if u < config.mix.q_search:
+            return OP_SEARCH, picker.pick()
+        if u < config.mix.q_search + config.mix.q_insert:
+            return OP_INSERT, picker.pick()
+        return OP_DELETE, pick_resident_key(tree, rng_keys,
+                                            config.key_space,
+                                            probe=picker.pick())
+
+    def terminal():
+        while True:
+            if think_time > 0.0:
+                yield Hold(rng_think.expovariate(1.0 / think_time))
+            op_name, key = draw_operation()
+            yield from getattr(module, op_name)(ctx, key)
+            completions[0] += 1
+            if completions[0] == warmup and not metrics.measuring:
+                metrics.measuring = True
+                metrics.measure_start_time = sim.now
+
+    if warmup == 0:
+        metrics.measuring = True
+        metrics.measure_start_time = 0.0
+
+    def root_sampler():
+        while True:
+            yield Hold(_ROOT_SAMPLE_INTERVAL)
+            lock = tree.root.lock
+            present = lock.writer is not None or lock.writer_waiting()
+            metrics.record_root_sample(present,
+                                       queue_length=lock.queue_length)
+
+    for index in range(multiprogramming_level):
+        sim.spawn(terminal(), name=f"terminal-{index}",
+                  delay=index * 1e-6)  # stagger identical start times
+    sim.spawn(root_sampler(), name="root-sampler")
+    metrics.note_population(multiprogramming_level)
+
+    sim.run(stop_when=lambda: metrics.measured_operations >= target)
+    metrics.measure_end_time = sim.now
+
+    return summarize(
+        metrics, algorithm=config.algorithm,
+        arrival_rate=float("nan"),  # no open arrival stream
+        seed=config.seed, overflowed=False,
+        tree_size=len(tree), tree_height=tree.height,
+    )

@@ -1,0 +1,118 @@
+"""Simulation configuration (mirrors paper Section 5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.btree.policies import MERGE_AT_EMPTY, MergePolicy
+from repro.errors import ConfigurationError
+from repro.model.params import PAPER_MIX, CostModel, OperationMix
+
+#: Default key universe; large enough that random inserts rarely collide.
+DEFAULT_KEY_SPACE = 1 << 30
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one simulator run.
+
+    Defaults reproduce the paper's experiment: a ~40,000-item tree of
+    order 13 (5 levels, root fanout ~6), two in-memory levels, disk cost
+    5, mix (.3, .5, .2), 10,000 measured concurrent operations.
+    """
+
+    #: Which concurrency-control algorithm to run:
+    #: "naive-lock-coupling", "optimistic-descent" or "link-type".
+    algorithm: str = "naive-lock-coupling"
+    #: Poisson arrival rate of concurrent operations (1 / root-search units).
+    arrival_rate: float = 0.1
+    #: Maximum entries per node (the paper's maximum node size N).
+    order: int = 13
+    #: Items inserted during the construction phase.
+    n_items: int = 40_000
+    mix: OperationMix = PAPER_MIX
+    costs: CostModel = field(default_factory=CostModel)
+    merge_policy: MergePolicy = MERGE_AT_EMPTY
+    #: Measured concurrent operations (after warm-up).
+    n_operations: int = 10_000
+    #: Operations run before measurement starts.
+    warmup_operations: int = 500
+    #: The paper's "space allocated for concurrent operations": the run
+    #: aborts (saturation) if more operations than this are in flight.
+    max_population: int = 2_000
+    key_space: int = DEFAULT_KEY_SPACE
+    seed: int = 0
+    #: Recovery policy name: "no-recovery", "leaf-only-recovery" or
+    #: "naive-recovery" (applies to the optimistic-descent algorithm).
+    recovery: str = "no-recovery"
+    #: Expected remaining transaction time for recovery lock retention.
+    t_trans: float = 100.0
+    #: Mean time between background compaction sweeps (Sagiv-style
+    #: compression of empty leaves); None disables the compactor.
+    #: Only meaningful for the link-type algorithm, the one that never
+    #: merges inline.
+    compaction_interval: Optional[float] = None
+    #: Key-selection distribution: "uniform" (the paper's workload) or
+    #: "hotspot" (a contiguous hot key range, concentrating contention
+    #: on one subtree).
+    key_distribution: str = "uniform"
+    #: Hotspot parameters (used when key_distribution == "hotspot"):
+    #: ``hot_probability`` of the accesses target the first
+    #: ``hot_fraction`` of the key space (default 80/20).
+    hot_fraction: float = 0.2
+    hot_probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        from repro.simulator import ALGORITHMS  # local: avoid import cycle
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{ALGORITHMS}"
+            )
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if self.n_operations < 1:
+            raise ConfigurationError("n_operations must be >= 1")
+        if self.warmup_operations < 0:
+            raise ConfigurationError("warmup_operations must be >= 0")
+        if self.max_population < 1:
+            raise ConfigurationError("max_population must be >= 1")
+        if self.recovery not in ("no-recovery", "leaf-only-recovery",
+                                 "naive-recovery"):
+            raise ConfigurationError(f"unknown recovery {self.recovery!r}")
+        if self.recovery != "no-recovery" \
+                and self.algorithm != "optimistic-descent":
+            raise ConfigurationError(
+                "recovery policies are modelled on optimistic-descent only")
+        if self.compaction_interval is not None:
+            if not self.algorithm.startswith("link"):
+                raise ConfigurationError(
+                    "background compaction applies to link trees "
+                    "(the other algorithms merge inline)")
+            if self.compaction_interval <= 0:
+                raise ConfigurationError(
+                    "compaction_interval must be positive")
+        if self.key_distribution not in ("uniform", "hotspot"):
+            raise ConfigurationError(
+                f"unknown key distribution {self.key_distribution!r}; "
+                "expected 'uniform' or 'hotspot'")
+        if self.merge_policy is not MERGE_AT_EMPTY:
+            raise ConfigurationError(
+                "the concurrent simulator requires merge-at-empty (the "
+                "paper's setting); merge-at-half is supported sequentially")
+
+    def with_rate(self, arrival_rate: float) -> "SimulationConfig":
+        return replace(self, arrival_rate=arrival_rate)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return replace(self, seed=seed)
+
+    def scaled(self, factor: float) -> "SimulationConfig":
+        """A cheaper copy for benchmarks: scales the measured-operation
+        count and warm-up down by ``factor`` (at least 100 ops remain)."""
+        return replace(
+            self,
+            n_operations=max(100, int(self.n_operations * factor)),
+            warmup_operations=max(20, int(self.warmup_operations * factor)),
+        )

@@ -1,0 +1,242 @@
+"""Simulation driver (paper Section 4).
+
+``run_simulation``:
+
+1. builds the B-tree out of a random insert/delete sequence with the same
+   insert/delete proportions as the concurrent mix (construction phase);
+2. attaches a FCFS R/W lock to every node (including nodes created later
+   by concurrent splits);
+3. releases concurrent operations in a Poisson stream, each performing a
+   real search / insert / delete through the chosen algorithm's
+   processes, with exponential service times;
+4. measures response times and lock waits after a warm-up, sampling the
+   root lock for the writer-presence probability rho_w (Figure 10);
+5. aborts — flagging the run as *overflowed* — if the in-flight operation
+   population exceeds the allocation, the paper's saturation signal.
+
+``run_replications`` repeats a configuration over several seeds (the
+paper uses 5) and returns the per-seed results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+from repro.btree.builder import build_tree
+from repro.btree.node import Node
+from repro.des.engine import Simulator
+from repro.des.process import Hold
+from repro.des.rwlock import RWLock
+from repro.errors import ConfigurationError
+from repro.simulator import link as link_ops
+from repro.simulator import link_symmetric as link_symmetric_ops
+from repro.simulator import lock_coupling as naive_ops
+from repro.simulator import optimistic as optimistic_ops
+from repro.simulator import two_phase as two_phase_ops
+from repro.simulator.config import SimulationConfig
+from repro.simulator.costs import ServiceTimeSampler
+from repro.simulator.metrics import (
+    MetricsCollector,
+    SimulationResult,
+    summarize,
+)
+from repro.simulator.operations import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_SEARCH,
+    OperationContext,
+    pick_resident_key,
+)
+from repro.workloads.keyspace import HotspotKeys, KeyPicker, UniformKeys
+
+_ALGORITHM_MODULES = {
+    "naive-lock-coupling": naive_ops,
+    "optimistic-descent": optimistic_ops,
+    "link-type": link_ops,
+    "link-symmetric": link_symmetric_ops,
+    "two-phase-locking": two_phase_ops,
+}
+
+#: Interval (in root-search time units) between root-utilization samples.
+_ROOT_SAMPLE_INTERVAL = 1.0
+
+
+class _GatedObserver:
+    """Forwards lock waits to the per-level collector only while the
+    measurement window is open."""
+
+    __slots__ = ("collector", "inner")
+
+    def __init__(self, collector: MetricsCollector, level: int) -> None:
+        self.collector = collector
+        self.inner = collector.observer_for_level(level)
+
+    def on_wait(self, mode: str, wait: float) -> None:
+        if self.collector.measuring:
+            self.inner.on_wait(mode, wait)
+
+
+class _RunState:
+    """Mutable run bookkeeping shared by the driver's closures."""
+
+    __slots__ = ("population", "completions", "overflowed")
+
+    def __init__(self) -> None:
+        self.population = 0
+        self.completions = 0
+        self.overflowed = False
+
+
+def run_simulation(config: SimulationConfig,
+                   trace=None) -> SimulationResult:
+    """Execute one simulator run and return its metrics summary.
+
+    Pass a :class:`~repro.des.trace.TraceLog` as ``trace`` to record
+    every lock/hold/lifecycle event of the run (bounded ring buffer;
+    see ``docs/simulator.md``).
+    """
+    module = _ALGORITHM_MODULES.get(config.algorithm)
+    if module is None:  # defensive: config validates too
+        raise ConfigurationError(f"unknown algorithm {config.algorithm!r}")
+
+    seed_root = random.Random(config.seed)
+    rng_build = random.Random(seed_root.randrange(2 ** 63))
+    rng_arrivals = random.Random(seed_root.randrange(2 ** 63))
+    rng_keys = random.Random(seed_root.randrange(2 ** 63))
+    rng_service = random.Random(seed_root.randrange(2 ** 63))
+
+    metrics = MetricsCollector()
+
+    def attach_lock(node: Node) -> None:
+        node.lock = RWLock(name=f"n{node.node_id}",
+                           observer=_GatedObserver(metrics, node.level))
+
+    tree = build_tree(
+        config.n_items, order=config.order,
+        insert_fraction=config.mix.insert_share or 1.0,
+        merge_policy=config.merge_policy, key_space=config.key_space,
+        rng=rng_build, on_new_node=attach_lock,
+    )
+
+    sim = Simulator(trace=trace)
+    sampler = ServiceTimeSampler(config.costs, tree, rng_service)
+    ctx = OperationContext(sim, tree, sampler, metrics, rng_keys,
+                           recovery=config.recovery, t_trans=config.t_trans)
+    state = _RunState()
+    warmup = config.warmup_operations
+    target = config.n_operations
+
+    def on_operation_done(_process) -> None:
+        state.population -= 1
+        state.completions += 1
+        if state.completions == warmup and not metrics.measuring:
+            metrics.measuring = True
+            metrics.measure_start_time = sim.now
+
+    if warmup == 0:
+        metrics.measuring = True
+        metrics.measure_start_time = 0.0
+
+    picker = make_key_picker(config, rng_keys)
+
+    def spawn_operation() -> None:
+        op_name = _draw_operation(config, rng_arrivals)
+        if op_name == OP_DELETE:
+            key = pick_resident_key(tree, rng_keys, config.key_space,
+                                    probe=picker.pick())
+        else:
+            key = picker.pick()
+        factory = getattr(module, op_name)
+        state.population += 1
+        metrics.note_population(state.population)
+        if state.population > config.max_population:
+            state.overflowed = True
+            sim.stop()
+            return
+        sim.spawn(factory(ctx, key), name=op_name,
+                  on_done=on_operation_done)
+
+    def arrivals():
+        mean_gap = 1.0 / config.arrival_rate
+        while True:
+            yield Hold(rng_arrivals.expovariate(1.0 / mean_gap))
+            spawn_operation()
+
+    def root_sampler():
+        while True:
+            yield Hold(_ROOT_SAMPLE_INTERVAL)
+            lock = tree.root.lock
+            present = lock.writer is not None or lock.writer_waiting()
+            metrics.record_root_sample(present,
+                                       queue_length=lock.queue_length)
+
+    sim.spawn(arrivals(), name="arrivals")
+    sim.spawn(root_sampler(), name="root-sampler")
+    if config.compaction_interval is not None:
+        from repro.simulator.compaction import compactor
+        sim.spawn(compactor(ctx, config.compaction_interval),
+                  name="compactor")
+
+    def done() -> bool:
+        return (metrics.measured_operations >= target) or state.overflowed
+
+    sim.run(stop_when=done)
+    metrics.measure_end_time = sim.now
+
+    return summarize(
+        metrics, algorithm=config.algorithm,
+        arrival_rate=config.arrival_rate, seed=config.seed,
+        overflowed=state.overflowed, tree_size=len(tree),
+        tree_height=tree.height,
+    )
+
+
+def make_key_picker(config: SimulationConfig,
+                    rng: random.Random) -> KeyPicker:
+    """The key-selection distribution the configuration asks for."""
+    if config.key_distribution == "hotspot":
+        return HotspotKeys(config.key_space, rng,
+                           hot_fraction=config.hot_fraction,
+                           hot_probability=config.hot_probability)
+    return UniformKeys(config.key_space, rng)
+
+
+def _draw_operation(config: SimulationConfig, rng: random.Random) -> str:
+    u = rng.random()
+    if u < config.mix.q_search:
+        return OP_SEARCH
+    if u < config.mix.q_search + config.mix.q_insert:
+        return OP_INSERT
+    return OP_DELETE
+
+
+def run_replications(config: SimulationConfig,
+                     n_seeds: int = 5,
+                     progress: Callable[[SimulationResult], None] = None,
+                     ) -> List[SimulationResult]:
+    """Run ``config`` under ``n_seeds`` different seeds (paper: 5)."""
+    results = []
+    for offset in range(n_seeds):
+        result = run_simulation(config.with_seed(config.seed + offset))
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def pooled_response_means(results: Sequence[SimulationResult]
+                          ) -> Dict[str, float]:
+    """Average each operation's mean response over non-overflowed runs;
+    +inf when every replication overflowed (saturated setting)."""
+    import math
+    usable = [r for r in results if not r.overflowed]
+    if not usable:
+        return {OP_SEARCH: math.inf, OP_INSERT: math.inf,
+                OP_DELETE: math.inf}
+    out: Dict[str, float] = {}
+    for op in (OP_SEARCH, OP_INSERT, OP_DELETE):
+        values = [r.mean_response[op] for r in usable
+                  if not math.isnan(r.mean_response[op])]
+        out[op] = sum(values) / len(values) if values else math.nan
+    return out

@@ -1,0 +1,75 @@
+"""Two-Phase Locking operation processes.
+
+The restrictive baseline the paper's introduction warns about (and whose
+full analysis the conclusions promise): no lock is released before the
+operation has acquired every lock it needs, so the entire root-to-leaf
+path stays locked until the operation completes.  Locks are acquired
+top-down, which keeps the schedule deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.btree.node import LeafNode, Node
+from repro.des.process import Acquire, Hold, READ, Release, WRITE
+from repro.simulator import lock_coupling as naive
+from repro.simulator.operations import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_SEARCH,
+    OperationContext,
+    acquire_valid_root,
+    release_all,
+)
+
+
+def search(ctx: OperationContext, key: int) -> Generator:
+    """R-lock the whole path, search the leaf, then release everything."""
+    started = ctx.sim.now
+    locked = yield from _full_descent(ctx, key, READ)
+    yield Hold(ctx.sampler.search(1))
+    leaf = locked[-1]
+    assert isinstance(leaf, LeafNode)
+    leaf.contains(key)
+    yield from release_all(locked)
+    ctx.finish(OP_SEARCH, started)
+
+
+def insert(ctx: OperationContext, key: int) -> Generator:
+    started = ctx.sim.now
+    locked = yield from _full_descent(ctx, key, WRITE)
+    yield from naive._apply_insert(ctx, key, locked)
+    yield from release_all(locked)
+    ctx.finish(OP_INSERT, started)
+
+
+def delete(ctx: OperationContext, key: int) -> Generator:
+    started = ctx.sim.now
+    locked = yield from _full_descent(ctx, key, WRITE)
+    yield from naive._apply_delete(ctx, key, locked)
+    yield from release_all(locked)
+    ctx.finish(OP_DELETE, started)
+
+
+def _full_descent(ctx: OperationContext, key: int,
+                  mode: str) -> Generator:
+    """Lock the whole root-to-leaf path in ``mode``, releasing nothing."""
+    while True:
+        node = yield from acquire_valid_root(ctx, mode)
+        locked: List[Node] = [node]
+        restart = False
+        while not node.is_leaf:
+            yield Hold(ctx.sampler.search(node.level))
+            child = node.child_for(key)
+            yield Acquire(child.lock, mode)
+            if child.dead:  # pragma: no cover - path fully locked
+                yield from release_all(locked)
+                yield Release(child.lock)
+                ctx.metrics.restarts += 1
+                restart = True
+                break
+            locked.append(child)
+            node = child
+        if not restart:
+            return locked

@@ -1,0 +1,27 @@
+"""Workload generation: operation mixes and key-selection distributions.
+
+The paper's workload is fully specified by the mix (q_s, q_i, q_d) and
+uniform random keys; this subpackage exposes those plus a couple of
+realistic extensions (read-heavy / hotspot workloads) used by the domain
+examples.
+"""
+
+from repro.workloads.mixes import (
+    INSERT_ONLY,
+    PAPER_MIX,
+    READ_HEAVY,
+    UPDATE_HEAVY,
+    draw_operation,
+)
+from repro.workloads.keyspace import HotspotKeys, KeyPicker, UniformKeys
+
+__all__ = [
+    "HotspotKeys",
+    "INSERT_ONLY",
+    "KeyPicker",
+    "PAPER_MIX",
+    "READ_HEAVY",
+    "UPDATE_HEAVY",
+    "UniformKeys",
+    "draw_operation",
+]

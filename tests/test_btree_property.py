@@ -1,0 +1,129 @@
+"""Property-based tests: the B+-tree against a set model.
+
+Hypothesis drives random operation sequences against both merge policies
+and checks, after every batch, that (a) every structural invariant holds
+and (b) the tree's contents equal a plain Python set subjected to the
+same operations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree import (
+    BPlusTree,
+    MERGE_AT_EMPTY,
+    MERGE_AT_HALF,
+    check_invariants,
+)
+
+#: Small key universe to force collisions, duplicates and deletions of
+#: present keys.
+KEYS = st.integers(min_value=0, max_value=200)
+
+OPERATIONS = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "search"]), KEYS),
+    min_size=1, max_size=300,
+)
+
+ORDERS = st.integers(min_value=3, max_value=9)
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _apply(tree: BPlusTree, model: set, op: str, key: int) -> None:
+    if op == "insert":
+        assert tree.insert(key) == (key not in model)
+        model.add(key)
+    elif op == "delete":
+        assert tree.delete(key) == (key in model)
+        model.discard(key)
+    else:
+        assert tree.search(key) == (key in model)
+
+
+@pytest.mark.parametrize("policy", [MERGE_AT_EMPTY, MERGE_AT_HALF],
+                         ids=["merge-at-empty", "merge-at-half"])
+class TestAgainstSetModel:
+    @_SETTINGS
+    @given(order=ORDERS, ops=OPERATIONS)
+    def test_contents_and_invariants(self, policy, order, ops):
+        tree = BPlusTree(order=order, merge_policy=policy)
+        model = set()
+        for op, key in ops:
+            _apply(tree, model, op, key)
+        check_invariants(tree)
+        assert list(tree.items()) == sorted(model)
+        assert len(tree) == len(model)
+
+    @_SETTINGS
+    @given(order=ORDERS, ops=OPERATIONS)
+    def test_interleaved_validation(self, policy, order, ops):
+        """Invariants hold after *every* operation, not just at the end."""
+        tree = BPlusTree(order=order, merge_policy=policy)
+        model = set()
+        for i, (op, key) in enumerate(ops):
+            _apply(tree, model, op, key)
+            if i % 7 == 0:
+                check_invariants(tree)
+        check_invariants(tree)
+
+    @_SETTINGS
+    @given(order=ORDERS, keys=st.sets(KEYS, min_size=1, max_size=150))
+    def test_insert_all_then_delete_all(self, policy, order, keys):
+        tree = BPlusTree(order=order, merge_policy=policy)
+        for key in keys:
+            tree.insert(key)
+        check_invariants(tree)
+        assert list(tree.items()) == sorted(keys)
+        for key in sorted(keys):
+            assert tree.delete(key)
+        check_invariants(tree)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+
+@_SETTINGS
+@given(order=ORDERS, keys=st.sets(KEYS, min_size=10, max_size=150))
+def test_leaf_chain_matches_levels(order, keys):
+    """The right-link chain at the leaf level enumerates exactly the
+    leaves, and per-level chains are complete at all levels."""
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key)
+    chained = [key for leaf in tree.leaves() for key in leaf.keys]
+    assert chained == sorted(keys)
+    total_nodes = sum(
+        len(list(tree.level_nodes(level)))
+        for level in range(1, tree.height + 1))
+    assert total_nodes >= tree.height  # at least one node per level
+
+
+@_SETTINGS
+@given(keys=st.sets(KEYS, min_size=4, max_size=100))
+def test_half_split_preserves_contents(keys):
+    """Half-splitting an overfilled leaf never loses or reorders keys."""
+    tree = BPlusTree(order=4)
+    leaf = tree.root
+    leaf.keys = sorted(keys)
+    sibling, separator = tree.half_split(leaf)
+    assert leaf.keys + sibling.keys == sorted(keys)
+    assert all(k < separator for k in leaf.keys)
+    assert all(k >= separator for k in sibling.keys)
+    assert leaf.high_key == separator
+    assert leaf.right is sibling
+
+
+@_SETTINGS
+@given(order=ORDERS,
+       keys=st.sets(st.integers(min_value=0, max_value=10**6),
+                    min_size=1, max_size=400))
+def test_search_finds_exactly_members(order, keys):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key)
+    for key in list(keys)[:50]:
+        assert tree.search(key)
+    for probe in range(0, 10**6, 99_991):
+        assert tree.search(probe) == (probe in keys)

@@ -1,0 +1,144 @@
+"""Unit tests for the service-time distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.des.distributions import (
+    Deterministic,
+    Exponential,
+    Hyperexponential,
+    UniformDist,
+    poisson_interarrivals,
+)
+from repro.errors import ConfigurationError
+
+
+def _sample_moments(dist, n=40_000):
+    xs = [dist.sample() for _ in range(n)]
+    mean = sum(xs) / n
+    second = sum(x * x for x in xs) / n
+    return mean, second
+
+
+class TestDeterministic:
+    def test_moments(self):
+        d = Deterministic(3.0)
+        assert d.mean == 3.0
+        assert d.second_moment == 9.0
+        assert d.variance == 0.0
+        assert d.scv == 0.0
+        assert d.sample() == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deterministic(-1.0)
+
+
+class TestExponential:
+    def test_exact_moments(self):
+        e = Exponential(2.5)
+        assert e.mean == 2.5
+        assert e.second_moment == pytest.approx(12.5)
+        assert e.scv == pytest.approx(1.0)
+        assert e.rate == pytest.approx(0.4)
+
+    def test_sampled_moments(self, rng):
+        e = Exponential(2.0, rng=rng)
+        mean, second = _sample_moments(e)
+        assert mean == pytest.approx(2.0, rel=0.05)
+        assert second == pytest.approx(8.0, rel=0.1)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_mean_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Exponential(bad)
+
+
+class TestUniform:
+    def test_exact_moments(self):
+        u = UniformDist(1.0, 3.0)
+        assert u.mean == 2.0
+        # E[X^2] over [1,3] = (27-1)/(3*2) = 13/3
+        assert u.second_moment == pytest.approx(13.0 / 3.0)
+
+    def test_point_support(self):
+        u = UniformDist(2.0, 2.0)
+        assert u.mean == 2.0
+        assert u.second_moment == 4.0
+
+    def test_inverted_support_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDist(3.0, 1.0)
+
+
+class TestHyperexponential:
+    def test_exact_moments(self):
+        h = Hyperexponential([0.3, 0.7], [1.0, 4.0])
+        assert h.mean == pytest.approx(0.3 * 1.0 + 0.7 * 4.0)
+        assert h.second_moment == pytest.approx(0.3 * 2.0 + 0.7 * 32.0)
+        assert h.scv > 1.0  # hyperexponential is more variable
+
+    def test_degenerates_to_exponential(self):
+        h = Hyperexponential([1.0], [2.0])
+        assert h.mean == 2.0
+        assert h.second_moment == pytest.approx(8.0)
+        assert h.scv == pytest.approx(1.0)
+
+    def test_sampled_moments(self, rng):
+        h = Hyperexponential([0.2, 0.8], [10.0, 1.0], rng=rng)
+        mean, second = _sample_moments(h, n=60_000)
+        assert mean == pytest.approx(h.mean, rel=0.05)
+        assert second == pytest.approx(h.second_moment, rel=0.15)
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            Hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hyperexponential([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hyperexponential([], [])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hyperexponential([1.5, -0.5], [1.0, 2.0])
+
+    def test_unreachable_stage_may_have_any_mean(self):
+        h = Hyperexponential([1.0, 0.0], [2.0, -1.0])
+        assert h.mean == 2.0
+
+    def test_reachable_stage_needs_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            Hyperexponential([0.5, 0.5], [2.0, 0.0])
+
+
+class TestPoissonInterarrivals:
+    def test_mean_gap(self, rng):
+        gen = poisson_interarrivals(4.0, rng)
+        gaps = [next(gen) for _ in range(30_000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.25, rel=0.05)
+
+    def test_nonpositive_rate_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            next(poisson_interarrivals(0.0, rng))
+
+    def test_counts_are_poisson_like(self, rng):
+        """Number of arrivals in unit windows has variance ~ mean."""
+        gen = poisson_interarrivals(3.0, rng)
+        t, counts, window_end, count = 0.0, [], 1.0, 0
+        for _ in range(60_000):
+            t += next(gen)
+            while t > window_end:
+                counts.append(count)
+                count = 0
+                window_end += 1.0
+            count += 1
+        mean = sum(counts) / len(counts)
+        var = sum((c - mean) ** 2 for c in counts) / (len(counts) - 1)
+        assert mean == pytest.approx(3.0, rel=0.1)
+        assert var == pytest.approx(mean, rel=0.15)

@@ -1,0 +1,246 @@
+"""Unit tests for the FCFS reader/writer lock."""
+
+import pytest
+
+from repro.des import Acquire, Hold, READ, RWLock, Release, Simulator, WRITE
+from repro.errors import LockProtocolError
+
+
+def _run(script):
+    """Helper: run a list of (delay, generator-factory) and return sim."""
+    sim = Simulator()
+    for delay, factory in script:
+        sim.spawn(factory(sim), delay=delay)
+    sim.run()
+    return sim
+
+
+def test_readers_share():
+    sim = Simulator()
+    lock = RWLock()
+    concurrent = []
+
+    def reader(hold):
+        yield Acquire(lock, READ)
+        concurrent.append(len(lock.readers))
+        yield Hold(hold)
+        yield Release(lock)
+
+    sim.spawn(reader(2.0))
+    sim.spawn(reader(2.0), delay=0.5)
+    sim.spawn(reader(2.0), delay=1.0)
+    sim.run()
+    assert max(concurrent) == 3
+
+
+def test_writer_excludes_writer():
+    sim = Simulator()
+    lock = RWLock()
+    active = []
+    overlap = []
+
+    def writer(name):
+        yield Acquire(lock, WRITE)
+        overlap.append(list(active))
+        active.append(name)
+        yield Hold(1.0)
+        active.remove(name)
+        yield Release(lock)
+
+    for i in range(4):
+        sim.spawn(writer(i), delay=0.1 * i)
+    sim.run()
+    assert all(entry == [] for entry in overlap)
+
+
+def test_writer_excludes_readers():
+    sim = Simulator()
+    lock = RWLock()
+    trace = []
+
+    def writer():
+        yield Acquire(lock, WRITE)
+        trace.append(("w-in", sim.now))
+        yield Hold(5.0)
+        trace.append(("w-out", sim.now))
+        yield Release(lock)
+
+    def reader():
+        yield Acquire(lock, READ)
+        trace.append(("r-in", sim.now))
+        yield Release(lock)
+
+    sim.spawn(writer())
+    sim.spawn(reader(), delay=1.0)
+    sim.run()
+    assert trace == [("w-in", 0.0), ("w-out", 5.0), ("r-in", 5.0)]
+
+
+def test_fcfs_reader_does_not_overtake_queued_writer():
+    """A late reader must wait behind a queued writer even though it is
+    compatible with the current (reader) holders — strict FCFS."""
+    sim = Simulator()
+    lock = RWLock()
+    grants = []
+
+    def holder():
+        yield Acquire(lock, READ)
+        yield Hold(4.0)
+        yield Release(lock)
+
+    def writer():
+        yield Acquire(lock, WRITE)
+        grants.append(("w", sim.now))
+        yield Hold(1.0)
+        yield Release(lock)
+
+    def late_reader():
+        yield Acquire(lock, READ)
+        grants.append(("r", sim.now))
+        yield Release(lock)
+
+    sim.spawn(holder())
+    sim.spawn(writer(), delay=1.0)       # queues behind the holder
+    sim.spawn(late_reader(), delay=2.0)  # compatible, but must not overtake
+    sim.run()
+    assert grants == [("w", 4.0), ("r", 5.0)]
+
+
+def test_consecutive_readers_granted_together():
+    sim = Simulator()
+    lock = RWLock()
+    grants = []
+
+    def writer():
+        yield Acquire(lock, WRITE)
+        yield Hold(3.0)
+        yield Release(lock)
+
+    def reader(name):
+        yield Acquire(lock, READ)
+        grants.append((name, sim.now))
+        yield Hold(1.0)
+        yield Release(lock)
+
+    sim.spawn(writer())
+    sim.spawn(reader("r1"), delay=1.0)
+    sim.spawn(reader("r2"), delay=2.0)
+    sim.run()
+    assert grants == [("r1", 3.0), ("r2", 3.0)]
+
+
+def test_release_without_holding_raises():
+    sim = Simulator()
+    lock = RWLock("naked")
+
+    def bad():
+        yield Release(lock)
+
+    sim.spawn(bad())
+    with pytest.raises(LockProtocolError):
+        sim.run()
+
+
+def test_reentrant_request_raises():
+    sim = Simulator()
+    lock = RWLock()
+
+    def bad():
+        yield Acquire(lock, READ)
+        yield Acquire(lock, READ)
+
+    sim.spawn(bad())
+    with pytest.raises(LockProtocolError):
+        sim.run()
+
+
+def test_holds_reports_mode_via_direct_api():
+    from repro.des.process import Process
+
+    def idle():
+        yield Hold(0.0)
+
+    sim = Simulator()
+    lock = RWLock()
+    reader = Process(idle(), name="r")
+    writer = Process(idle(), name="w")
+    assert lock.request(sim, reader, READ) is True
+    assert lock.holds(reader) == READ
+    assert lock.request(sim, writer, WRITE) is False  # queued
+    assert lock.holds(writer) is None
+    assert lock.queue_length == 1
+    assert lock.writer_waiting()
+    lock.release(sim, reader)
+    assert lock.holds(writer) == WRITE
+    assert lock.writer is writer
+    lock.release(sim, writer)
+    assert lock.writer is None
+    assert lock.queue_length == 0
+
+
+def test_observer_receives_waits():
+    class Observer:
+        def __init__(self):
+            self.calls = []
+
+        def on_wait(self, mode, wait):
+            self.calls.append((mode, round(wait, 9)))
+
+    sim = Simulator()
+    observer = Observer()
+    lock = RWLock(observer=observer)
+
+    def writer():
+        yield Acquire(lock, WRITE)
+        yield Hold(2.0)
+        yield Release(lock)
+
+    def reader():
+        yield Acquire(lock, READ)
+        yield Release(lock)
+
+    sim.spawn(writer())
+    sim.spawn(reader(), delay=0.5)
+    sim.run()
+    assert observer.calls == [(WRITE, 0.0), (READ, 1.5)]
+
+
+def test_writer_presence_accounting():
+    sim = Simulator()
+    lock = RWLock()
+
+    def writer():
+        yield Acquire(lock, WRITE)
+        yield Hold(4.0)
+        yield Release(lock)
+
+    def reader():
+        yield Acquire(lock, READ)
+        yield Hold(2.0)
+        yield Release(lock)
+
+    sim.spawn(reader())
+    sim.spawn(writer(), delay=1.0)  # waits 1 unit behind the reader
+    sim.run()
+    lock.finalize(sim.now)
+    assert lock.time_writer_held == pytest.approx(4.0)
+    # present = waiting (1..2) + holding (2..6)
+    assert lock.time_writer_present == pytest.approx(5.0)
+    assert lock.time_held_any == pytest.approx(6.0)
+    assert lock.grants_read == 1
+    assert lock.grants_write == 1
+
+
+def test_grant_counters():
+    sim = Simulator()
+    lock = RWLock()
+
+    def reader():
+        yield Acquire(lock, READ)
+        yield Release(lock)
+
+    for i in range(5):
+        sim.spawn(reader(), delay=float(i))
+    sim.run()
+    assert lock.grants_read == 5
+    assert lock.grants_write == 0

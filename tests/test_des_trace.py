@@ -1,0 +1,117 @@
+"""Unit tests for the event trace facility."""
+
+import pytest
+
+from repro.des import (
+    Acquire,
+    Hold,
+    READ,
+    RWLock,
+    Release,
+    Simulator,
+    TraceLog,
+    WRITE,
+)
+from repro.errors import ConfigurationError
+
+
+def _locked_run(trace):
+    sim = Simulator(trace=trace)
+    lock = RWLock("L")
+
+    def writer():
+        yield Acquire(lock, WRITE)
+        yield Hold(2.0)
+        yield Release(lock)
+
+    def reader():
+        yield Acquire(lock, READ)
+        yield Release(lock)
+
+    writer_proc = sim.spawn(writer(), name="writer")
+    reader_proc = sim.spawn(reader(), name="reader", delay=1.0)
+    sim.run()
+    return sim, writer_proc, reader_proc
+
+
+class TestTraceLog:
+    def test_records_lifecycle_and_lock_events(self):
+        trace = TraceLog()
+        _sim, writer_proc, reader_proc = _locked_run(trace)
+        kinds = [e.kind for e in trace]
+        assert kinds.count("spawn") == 2
+        assert kinds.count("finish") == 2
+        assert kinds.count("request") == 2
+        assert kinds.count("grant") == 2
+        assert kinds.count("release") == 2
+        assert kinds.count("hold") == 1
+
+    def test_immediate_vs_queued_grant_details(self):
+        trace = TraceLog()
+        _sim, writer_proc, reader_proc = _locked_run(trace)
+        grants = trace.events(kind="grant")
+        by_pid = {event.pid: event for event in grants}
+        assert "immediately" in by_pid[writer_proc.pid].detail
+        assert "after 1.0000" in by_pid[reader_proc.pid].detail
+
+    def test_timeline_is_ordered(self):
+        trace = TraceLog()
+        _sim, writer_proc, _reader = _locked_run(trace)
+        timeline = trace.timeline(writer_proc.pid)
+        assert [e.kind for e in timeline] == [
+            "spawn", "request", "grant", "hold", "release", "finish"]
+        times = [e.time for e in timeline]
+        assert times == sorted(times)
+
+    def test_ring_buffer_drops_oldest(self):
+        trace = TraceLog(capacity=5)
+        sim = Simulator(trace=trace)
+
+        def ticker():
+            for _ in range(10):
+                yield Hold(1.0)
+
+        sim.spawn(ticker())
+        sim.run()
+        assert len(trace) == 5
+        assert trace.dropped == trace.total_recorded - 5
+        assert trace.dropped > 0
+
+    def test_filtering(self):
+        trace = TraceLog()
+        _locked_run(trace)
+        assert all(e.kind == "request" for e in trace.events(kind="request"))
+        late = trace.events(predicate=lambda e: e.time >= 2.0)
+        assert late
+        assert all(e.time >= 2.0 for e in late)
+
+    def test_format_mentions_drops(self):
+        trace = TraceLog(capacity=3)
+        _locked_run(trace)
+        text = trace.format()
+        assert "earlier events dropped" in text
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            TraceLog(capacity=0)
+
+    def test_tracing_does_not_change_results(self):
+        """The trace is observation only: identical timing with and
+        without it."""
+        def run(trace):
+            sim = Simulator(trace=trace)
+            lock = RWLock("L")
+            finish_times = []
+
+            def worker(delay):
+                yield Acquire(lock, WRITE)
+                yield Hold(1.5)
+                yield Release(lock)
+                finish_times.append(sim.now)
+
+            for i in range(4):
+                sim.spawn(worker(i), delay=0.5 * i)
+            sim.run()
+            return finish_times
+
+        assert run(None) == run(TraceLog())

@@ -1,0 +1,55 @@
+"""Tests for the in-text claims evaluator and its CLI surface."""
+
+import pytest
+
+from repro.experiments.claims import (
+    ClaimResult,
+    evaluate_claims,
+    format_claims,
+)
+from repro.experiments.runner import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def results():
+    return evaluate_claims()
+
+
+def test_every_claim_holds(results):
+    failing = [r.claim_id for r in results if not r.holds]
+    assert not failing, f"claims failing: {failing}"
+
+
+def test_all_sections_covered(results):
+    sections = {r.section.split(" ")[0] for r in results}
+    assert "Section" in sections.pop() or sections  # sanity
+    ids = {r.claim_id for r in results}
+    assert ids == {"ordering", "rho-half-to-one", "node-size-rules",
+                   "link-crossings", "recovery",
+                   "restrictive-serialization"}
+
+
+def test_measured_strings_are_informative(results):
+    for r in results:
+        assert r.measured
+        assert any(ch.isdigit() for ch in r.measured)
+
+
+def test_format_lists_every_claim(results):
+    text = format_claims(results)
+    for r in results:
+        assert r.claim_id in text
+    assert f"{len(results)}/{len(results)} claims hold" in text
+
+
+def test_format_marks_failures():
+    fake = [ClaimResult("x", "Section 0", "up is down", "no", False)]
+    text = format_claims(fake)
+    assert "FAILS" in text
+    assert "0/1 claims hold" in text
+
+
+def test_cli_claims_exit_code(capsys):
+    assert cli_main(["claims"]) == 0
+    out = capsys.readouterr().out
+    assert "claims hold" in out

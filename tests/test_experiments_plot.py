@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentTable
+from repro.experiments.plot import render_chart
+from repro.experiments.runner import main as cli_main
+
+
+def _table():
+    table = ExperimentTable("t01", "a test series", "Test",
+                            ["x", "alpha", "beta"])
+    for x in range(10):
+        table.add(float(x), float(x * x), 50.0 - x)
+    return table
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        text = render_chart(_table())
+        assert "o = alpha" in text
+        assert "x = beta" in text
+        assert "x: x" in text
+        assert "o" in text
+
+    def test_axis_bounds_labelled(self):
+        text = render_chart(_table())
+        assert "81" in text   # max of alpha
+        assert "0" in text
+
+    def test_saturated_points_pinned_to_top(self):
+        table = ExperimentTable("t02", "saturating", "Test", ["x", "y"])
+        table.add(0.0, 1.0)
+        table.add(1.0, 2.0)
+        table.add(2.0, math.inf)
+        text = render_chart(table)
+        assert "^" in text
+
+    def test_subset_of_columns(self):
+        text = render_chart(_table(), y_columns=["beta"])
+        assert "beta" in text
+        assert "alpha" not in text
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_chart(_table(), y_columns=["gamma"])
+
+    def test_empty_table_rejected(self):
+        table = ExperimentTable("t03", "empty", "Test", ["x", "y"])
+        with pytest.raises(ConfigurationError):
+            render_chart(table)
+
+    def test_all_saturated_rejected(self):
+        table = ExperimentTable("t04", "all inf", "Test", ["x", "y"])
+        table.add(0.0, math.inf)
+        with pytest.raises(ConfigurationError):
+            render_chart(table)
+
+    def test_tiny_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_chart(_table(), width=4)
+
+    def test_constant_series_renders(self):
+        table = ExperimentTable("t05", "flat", "Test", ["x", "y"])
+        for x in range(5):
+            table.add(float(x), 3.0)
+        assert "o" in render_chart(table)
+
+    def test_single_point(self):
+        table = ExperimentTable("t06", "dot", "Test", ["x", "y"])
+        table.add(1.0, 1.0)
+        assert "o" in render_chart(table)
+
+
+def test_cli_plot_flag(capsys):
+    assert cli_main(["run", "fig11", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "x: disk_cost" in out
+    assert "max_throughput" in out

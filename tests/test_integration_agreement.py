@@ -1,0 +1,121 @@
+"""Integration: the analytical model against the simulator.
+
+The paper's central validation claim (Section 5.3): "the analysis and
+the simulation predict the same response times."  These tests rebuild
+that comparison at the paper's own scale — a ~40,000-item order-13 tree
+(5 levels, root fanout ~6, disk cost 5) — with the analytical shape
+measured from the actual build so shape mismatch cannot pollute the
+check.  Smaller trees deliberately break the steady-state assumption
+(15% growth over a run shifts the occupancy of a 7-node level), which
+the paper itself flags; see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.btree import build_tree, collect_statistics
+from repro.model import (
+    ModelConfig,
+    TreeShape,
+    analyze_link,
+    analyze_lock_coupling,
+    analyze_optimistic,
+    max_throughput,
+)
+from repro.model.params import CostModel, PAPER_MIX
+from repro.simulator import SimulationConfig, run_simulation
+
+N_ITEMS = 40_000
+ORDER = 13
+
+
+@pytest.fixture(scope="module")
+def measured_config() -> ModelConfig:
+    tree = build_tree(N_ITEMS, order=ORDER, seed=0)
+    stats = collect_statistics(tree)
+    return ModelConfig(
+        mix=PAPER_MIX,
+        costs=CostModel(disk_cost=5.0, in_memory_levels=2),
+        shape=TreeShape.from_statistics(stats),
+        order=ORDER,
+    )
+
+
+def _simulate(algorithm: str, rate: float, seed: int = 101,
+              n_ops: int = 1_500):
+    config = SimulationConfig(
+        algorithm=algorithm, arrival_rate=rate, order=ORDER,
+        n_items=N_ITEMS, n_operations=n_ops, warmup_operations=150,
+        seed=seed)
+    return run_simulation(config)
+
+
+CASES = [
+    # (algorithm, analyzer, rate, tolerance) — rates span low load up to
+    # ~40% of each algorithm's maximum throughput.
+    ("naive-lock-coupling", analyze_lock_coupling, 0.15, 0.15),
+    ("naive-lock-coupling", analyze_lock_coupling, 0.35, 0.20),
+    ("optimistic-descent", analyze_optimistic, 0.5, 0.20),
+    ("optimistic-descent", analyze_optimistic, 1.5, 0.25),
+    ("link-type", analyze_link, 2.0, 0.15),
+    ("link-type", analyze_link, 10.0, 0.20),
+]
+
+
+@pytest.mark.parametrize("algorithm,analyzer,rate,tolerance", CASES)
+def test_response_time_agreement(measured_config, algorithm, analyzer,
+                                 rate, tolerance):
+    prediction = analyzer(measured_config, rate)
+    assert prediction.stable
+    result = _simulate(algorithm, rate)
+    assert not result.overflowed
+    for op in ("search", "insert", "delete"):
+        model_value = prediction.response(op)
+        sim_value = result.mean_response[op]
+        assert sim_value == pytest.approx(model_value, rel=tolerance), (
+            f"{algorithm} {op} at rate {rate}: model {model_value:.2f} "
+            f"vs simulated {sim_value:.2f}")
+
+
+def test_root_utilization_agreement(measured_config):
+    """Predicted and sampled root writer utilization track each other
+    (Figure 10's two curves)."""
+    rate = 0.3
+    prediction = analyze_lock_coupling(measured_config, rate)
+    result = _simulate("naive-lock-coupling", rate, seed=77)
+    sampled = result.root_writer_utilization
+    # Presence sampling slightly over-counts the aggregate-customer rho.
+    assert sampled == pytest.approx(
+        prediction.root_writer_utilization, abs=0.12)
+    assert sampled >= prediction.root_writer_utilization * 0.7
+
+
+def test_knee_location_agreement(measured_config):
+    """The simulator saturates near the analytical maximum throughput:
+    comfortably below it runs fine, far above it the operation
+    population explodes (the paper's crash)."""
+    peak = max_throughput(analyze_lock_coupling, measured_config)
+    below = SimulationConfig(
+        algorithm="naive-lock-coupling", arrival_rate=0.6 * peak,
+        order=ORDER, n_items=N_ITEMS, n_operations=1_200,
+        warmup_operations=120, seed=5, max_population=600)
+    ok = run_simulation(below)
+    assert not ok.overflowed
+    above = below.with_rate(3.0 * peak)
+    crashed = run_simulation(above)
+    assert crashed.overflowed
+
+
+def test_simulated_ordering_matches_model(measured_config):
+    """At a rate Naive cannot sustain, Optimistic and Link still cruise
+    — the simulated counterpart of Figure 12's ordering."""
+    rate = 1.0  # > Naive's maximum (~0.6), far below the others' knees
+    naive = _simulate("naive-lock-coupling", rate)
+    optimistic = _simulate("optimistic-descent", rate)
+    link = _simulate("link-type", rate)
+    assert naive.overflowed or (
+        naive.mean_response["insert"]
+        > 2.0 * optimistic.mean_response["insert"])
+    assert not optimistic.overflowed
+    assert not link.overflowed
+    assert link.mean_response["search"] \
+        < 1.3 * optimistic.mean_response["search"]

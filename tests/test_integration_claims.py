@@ -1,0 +1,149 @@
+"""The paper's in-text quantitative claims, checked end to end.
+
+The paper has no numbered tables; its evaluation narrative makes several
+checkable statements.  Each test here is one claim, referenced to the
+section making it.  EXPERIMENTS.md records the measured values.
+"""
+
+import math
+
+import pytest
+
+from repro.model import (
+    LEAF_ONLY_RECOVERY,
+    NAIVE_RECOVERY,
+    NO_RECOVERY,
+    analyze_link,
+    analyze_lock_coupling,
+    analyze_optimistic,
+    analyze_optimistic_with_recovery,
+    arrival_rate_for_root_utilization,
+    max_throughput,
+    paper_default_config,
+)
+from repro.model.link import link_crossing_probability
+
+
+class TestSection53Comparison:
+    """'The Optimistic Descent algorithm has significantly better
+    performance than the Naive Lock-coupling algorithm, and the Link
+    type algorithm has significantly better performance than the
+    Optimistic Descent algorithm.'"""
+
+    def test_max_throughput_ordering_with_margins(self, paper_config):
+        naive = max_throughput(analyze_lock_coupling, paper_config)
+        optimistic = max_throughput(analyze_optimistic, paper_config)
+        link = max_throughput(analyze_link, paper_config)
+        assert optimistic / naive > 3.0
+        assert link / optimistic > 20.0
+
+    def test_link_has_no_effective_maximum(self, paper_config):
+        """Section 6: 'the Link-type algorithm has no effective maximum
+        throughput' — its knee sits orders of magnitude beyond any
+        realistic load."""
+        link = max_throughput(analyze_link, paper_config)
+        naive = max_throughput(analyze_lock_coupling, paper_config)
+        assert link > 100 * naive
+
+
+class TestFigure10Claim:
+    """'To go from rho_w = .5 to rho_w = 1 requires less than a 50%
+    increase in arrival rate' (the cost of lock-coupling)."""
+
+    def test_rho_half_to_saturation_increase(self, paper_config):
+        rate_half = arrival_rate_for_root_utilization(
+            analyze_lock_coupling, paper_config, target=0.5)
+        rate_max = max_throughput(analyze_lock_coupling, paper_config)
+        increase = (rate_max - rate_half) / rate_half
+        assert increase < 0.50
+
+    def test_utilization_growth_is_superlinear(self, paper_config):
+        """Doubling the arrival rate more than doubles rho_w."""
+        lo = analyze_lock_coupling(paper_config, 0.2).root_writer_utilization
+        hi = analyze_lock_coupling(paper_config, 0.4).root_writer_utilization
+        assert hi > 2.0 * lo
+
+
+class TestSection6DesignRules:
+    """'The maximum node size should be small [for Naive]. ... the
+    maximum node sizes should be as large as possible [for Optimistic].'"""
+
+    def test_naive_insensitive_to_node_size(self):
+        rates = [
+            arrival_rate_for_root_utilization(
+                analyze_lock_coupling,
+                paper_default_config(order=order), target=0.5)
+            for order in (13, 31, 101)
+        ]
+        assert max(rates) < 2.5 * min(rates)
+
+    def test_optimistic_gains_with_node_size(self):
+        small = arrival_rate_for_root_utilization(
+            analyze_optimistic, paper_default_config(order=13), target=0.5)
+        large = arrival_rate_for_root_utilization(
+            analyze_optimistic, paper_default_config(order=101), target=0.5)
+        assert large > 3.0 * small
+
+    def test_optimistic_advantage_widens_with_node_size(self):
+        """'As the maximum node size increases, Optimistic Descent
+        becomes increasingly better than Naive Lock-coupling.'"""
+        ratios = []
+        for order in (13, 31, 59, 101):
+            config = paper_default_config(order=order)
+            naive = arrival_rate_for_root_utilization(
+                analyze_lock_coupling, config, target=0.5)
+            optimistic = arrival_rate_for_root_utilization(
+                analyze_optimistic, config, target=0.5)
+            ratios.append(optimistic / naive)
+        assert ratios[-1] > ratios[0]
+
+
+class TestFigure9Claim:
+    """'Link crossing is rare and has a negligible effect on
+    performance.'"""
+
+    def test_crossing_probability_negligible(self, paper_config):
+        for rate in (1.0, 10.0, 30.0):
+            assert link_crossing_probability(
+                paper_config.with_disk_cost(10.0), rate, level=1) < 0.02
+
+
+class TestSection7Recovery:
+    """'The Leaf-only recovery algorithm has slightly worse performance
+    than the no-recovery algorithm. In contrast, the Naive recovery
+    algorithm has significantly worse performance than the Leaf-only
+    algorithm.'"""
+
+    @pytest.fixture
+    def d10(self):
+        return paper_default_config(disk_cost=10.0)
+
+    def test_leaf_only_slightly_worse_than_none(self, d10):
+        rate = 0.3
+        none = analyze_optimistic_with_recovery(
+            d10, rate, policy=NO_RECOVERY).response("insert")
+        leaf = analyze_optimistic_with_recovery(
+            d10, rate, policy=LEAF_ONLY_RECOVERY,
+            t_trans=100.0).response("insert")
+        assert none < leaf < 1.10 * none
+
+    def test_naive_significantly_worse_than_leaf_only(self, d10):
+        leaf_peak = max_throughput(
+            analyze_optimistic_with_recovery, d10,
+            policy=LEAF_ONLY_RECOVERY, t_trans=100.0)
+        naive_peak = max_throughput(
+            analyze_optimistic_with_recovery, d10,
+            policy=NAIVE_RECOVERY, t_trans=100.0)
+        assert naive_peak < 0.6 * leaf_peak
+
+
+class TestFigure11Claim:
+    """'The cost of locking nodes stored two levels below the root can
+    have a significant impact on the performance of the algorithm.'"""
+
+    def test_disk_cost_halves_throughput(self):
+        cached = max_throughput(analyze_lock_coupling,
+                                paper_default_config(disk_cost=1.0))
+        disk10 = max_throughput(analyze_lock_coupling,
+                                paper_default_config(disk_cost=10.0))
+        assert disk10 < 0.6 * cached

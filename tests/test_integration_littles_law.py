@@ -1,0 +1,49 @@
+"""Little's law as an internal consistency check on the simulator.
+
+At the root lock, every operation arrives once (rate λ) and waits a
+mean W before its grant, so the time-average number of requests queued
+there must be L = λ·W.  The simulator measures L (sampled queue length)
+and W (per-level lock waits) independently, so agreement is a strong
+check that neither metric is mis-accounted.
+"""
+
+import math
+
+import pytest
+
+from repro.simulator import SimulationConfig, run_simulation
+
+
+def _run(rate: float, seed: int = 44):
+    return run_simulation(SimulationConfig(
+        algorithm="naive-lock-coupling", arrival_rate=rate,
+        n_items=8_000, n_operations=2_500, warmup_operations=250,
+        seed=seed))
+
+
+@pytest.mark.parametrize("rate", [0.15, 0.3, 0.45])
+def test_littles_law_at_the_root(rate):
+    result = _run(rate)
+    assert not result.overflowed
+    root_level = result.final_height
+    read_wait, write_wait = result.mean_lock_waits[root_level]
+    # Arrival mix at the root: q_s readers, q_u writers (optimistic /
+    # redo classes don't exist under naive lock-coupling).
+    mean_wait = 0.3 * read_wait + 0.7 * write_wait
+    expected_l = rate * mean_wait
+    measured_l = result.root_mean_queue_length
+    assert measured_l == pytest.approx(expected_l, rel=0.30, abs=0.02), (
+        f"L = {measured_l:.3f} vs lambda*W = {expected_l:.3f} at "
+        f"rate {rate}")
+
+
+def test_queue_length_grows_with_load():
+    low = _run(0.1).root_mean_queue_length
+    high = _run(0.5).root_mean_queue_length
+    assert high > 3.0 * low
+
+
+def test_queue_length_defined_and_nonnegative():
+    result = _run(0.2)
+    assert not math.isnan(result.root_mean_queue_length)
+    assert result.root_mean_queue_length >= 0.0

@@ -1,0 +1,103 @@
+"""Tests for the closed-system analytical prediction (interactive
+response-time law over the open model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import analyze_link, analyze_lock_coupling
+from repro.model.closed import closed_system_prediction
+from repro.model.throughput import max_throughput
+
+
+class TestFixedPoint:
+    def test_single_customer_has_no_contention(self, paper_config):
+        """MPL 1: throughput = 1 / zero-load response."""
+        p = closed_system_prediction(analyze_lock_coupling, paper_config, 1)
+        assert not p.saturated
+        assert p.throughput == pytest.approx(1.0 / p.response_time,
+                                             rel=1e-3)
+
+    def test_little_s_law_holds_at_the_solution(self, paper_config):
+        for mpl in (2, 8, 30):
+            p = closed_system_prediction(analyze_lock_coupling,
+                                         paper_config, mpl)
+            assert p.throughput * (p.response_time + p.think_time) \
+                == pytest.approx(mpl, rel=0.02)
+
+    def test_throughput_monotone_and_capped(self, paper_config):
+        capacity = max_throughput(analyze_lock_coupling, paper_config)
+        throughputs = [
+            closed_system_prediction(analyze_lock_coupling, paper_config,
+                                     mpl).throughput
+            for mpl in (1, 4, 16, 64, 256)
+        ]
+        assert all(a < b or b == pytest.approx(capacity, rel=0.02)
+                   for a, b in zip(throughputs, throughputs[1:]))
+        assert all(x <= capacity * 1.0001 for x in throughputs)
+
+    def test_plateau_reached_at_high_mpl(self, paper_config):
+        p = closed_system_prediction(analyze_lock_coupling, paper_config,
+                                     200)
+        assert p.saturated
+        assert p.throughput == pytest.approx(p.capacity, rel=0.02)
+        # On the plateau the response grows as N / capacity.
+        assert p.response_time == pytest.approx(200 / p.capacity,
+                                                rel=0.02)
+
+    def test_think_time_defers_saturation(self, paper_config):
+        busy = closed_system_prediction(analyze_lock_coupling,
+                                        paper_config, 40)
+        idle = closed_system_prediction(analyze_lock_coupling,
+                                        paper_config, 40,
+                                        think_time=200.0)
+        assert idle.throughput < busy.throughput
+        assert not idle.saturated
+
+    def test_link_type_barely_notices_mpl_100(self, paper_config):
+        """The Section 1 scenario analytically: at MPL 100 the Link-type
+        algorithm runs far from its capacity, lock-coupling far past the
+        knee."""
+        naive = closed_system_prediction(analyze_lock_coupling,
+                                         paper_config, 100)
+        link = closed_system_prediction(analyze_link, paper_config, 100)
+        assert naive.saturated
+        assert not link.saturated
+        assert link.throughput > 5.0 * naive.throughput
+        assert link.response_time < 0.3 * naive.response_time
+
+    def test_validation(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            closed_system_prediction(analyze_lock_coupling, paper_config, 0)
+        with pytest.raises(ConfigurationError):
+            closed_system_prediction(analyze_lock_coupling, paper_config,
+                                     5, think_time=-1.0)
+
+
+class TestAgainstClosedSimulation:
+    def test_tracks_the_simulator_across_mpls(self):
+        """Model vs closed simulator within a few percent below and on
+        the plateau (the ext04 comparison in miniature)."""
+        from repro.btree import build_tree, collect_statistics
+        from repro.model import ModelConfig, TreeShape
+        from repro.model.params import CostModel, PAPER_MIX
+        from repro.simulator import SimulationConfig
+        from repro.simulator.closed import run_closed_simulation
+
+        tree = build_tree(8_000, order=13, seed=4)
+        config = ModelConfig(
+            mix=PAPER_MIX,
+            costs=CostModel(disk_cost=5.0, in_memory_levels=2),
+            shape=TreeShape.from_statistics(collect_statistics(tree)),
+            order=13)
+        sim_config = SimulationConfig(
+            algorithm="naive-lock-coupling", arrival_rate=0.1,
+            n_items=8_000, n_operations=1_000, warmup_operations=100,
+            seed=4)
+        for mpl in (5, 25, 100):
+            predicted = closed_system_prediction(analyze_lock_coupling,
+                                                 config, mpl)
+            simulated = run_closed_simulation(sim_config, mpl)
+            assert simulated.throughput == pytest.approx(
+                predicted.throughput, rel=0.10)
+            assert simulated.overall_mean_response == pytest.approx(
+                predicted.response_time, rel=0.12)

@@ -1,0 +1,165 @@
+"""Unit tests for the Optimistic Descent and Link-type analyses."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.link import analyze_link, link_crossing_probability
+from repro.model.lock_coupling import analyze_lock_coupling
+from repro.model.occupancy import OccupancyModel
+from repro.model.optimistic import analyze_optimistic
+from repro.model.params import OperationMix, paper_default_config
+
+
+class TestOptimistic:
+    def test_beats_naive_at_moderate_load(self, paper_config):
+        rate = 0.4
+        optimistic = analyze_optimistic(paper_config, rate)
+        naive = analyze_lock_coupling(paper_config, rate)
+        assert optimistic.response("insert") < naive.response("insert")
+        assert optimistic.root_writer_utilization \
+            < naive.root_writer_utilization
+
+    def test_writers_above_leaf_are_redos_only(self, paper_config):
+        """lambda_W at internal levels equals the redo rate
+        q_i * Pr[F(1)] * lambda_level."""
+        rate = 0.5
+        p = analyze_optimistic(paper_config, rate)
+        occ = OccupancyModel.corollary1(paper_config.mix, paper_config.order,
+                                        paper_config.height)
+        redo = paper_config.mix.q_insert * occ.full(1)
+        for level in p.levels[1:]:
+            level_rate = rate * paper_config.shape.arrival_share(level.level)
+            assert level.lambda_w == pytest.approx(redo * level_rate)
+            assert level.lambda_r == pytest.approx(level_rate)
+
+    def test_leaf_carries_all_update_writes(self, paper_config):
+        p = analyze_optimistic(paper_config, 0.5)
+        leaf = p.level(1)
+        leaf_rate = 0.5 * paper_config.shape.arrival_share(1)
+        assert leaf.lambda_w > paper_config.mix.q_update * leaf_rate * 0.99
+
+    def test_insert_pays_redo_premium_over_delete(self, paper_config):
+        """Per(I) = first descent + Pr[F(1)] * redo; Per(D) has no redo
+        term (Pr[Em] ~ 0)."""
+        p = analyze_optimistic(paper_config, 0.3)
+        assert p.response("insert") > p.response("delete")
+
+    def test_saturates_eventually(self, paper_config):
+        p = analyze_optimistic(paper_config, 50.0)
+        assert not p.stable
+
+    def test_monotone_in_rate(self, paper_config):
+        responses = [analyze_optimistic(paper_config, r).response("insert")
+                     for r in (0.5, 1.0, 2.0, 3.0)]
+        assert all(a < b for a, b in zip(responses, responses[1:]))
+
+    def test_recovery_hold_extras_increase_waits(self, paper_config):
+        base = analyze_optimistic(paper_config, 1.0)
+        held = analyze_optimistic(paper_config, 1.0, leaf_hold_extra=50.0)
+        assert held.response("insert") > base.response("insert")
+
+    def test_internal_extras_length_validated(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            analyze_optimistic(paper_config, 0.5,
+                               internal_hold_extra=[1.0, 2.0])
+
+    def test_nonpositive_rate_rejected(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            analyze_optimistic(paper_config, -1.0)
+
+
+class TestLink:
+    def test_beats_optimistic(self, paper_config):
+        rate = 2.0
+        link = analyze_link(paper_config, rate)
+        optimistic = analyze_optimistic(paper_config, rate)
+        assert link.max_writer_utilization \
+            < optimistic.max_writer_utilization
+
+    def test_sustains_enormous_load(self, paper_config):
+        """The paper: the Link-type algorithm has no effective maximum
+        throughput at realistic loads."""
+        p = analyze_link(paper_config, 50.0)
+        assert p.stable
+        assert p.max_writer_utilization < 0.5
+
+    def test_bottleneck_not_necessarily_root(self, paper_config):
+        """Without lock coupling the busiest queue is usually the leaf
+        level, not the root."""
+        p = analyze_link(paper_config, 20.0)
+        utilizations = {level.level: level.rho_w for level in p.levels}
+        busiest = max(utilizations, key=utilizations.get)
+        assert busiest != paper_config.height
+
+    def test_per_node_split_rate_level_independent(self, paper_config):
+        """Above the leaves the per-node W-lock arrival rate is nearly
+        constant: Pr[F] ~ 1/(0.69N) cancels the fanout 0.69N — every
+        node splits at about the same rate in steady state."""
+        p = analyze_link(paper_config, 10.0)
+        assert p.level(2).lambda_w < p.level(1).lambda_w
+        internal = [p.level(level).lambda_w
+                    for level in range(2, paper_config.height)]
+        assert max(internal) < 1.2 * min(internal)
+
+    def test_search_response_near_serial_even_loaded(self, paper_config):
+        costs, h = paper_config.costs, paper_config.height
+        serial = sum(costs.se(level, h) for level in range(1, h + 1))
+        p = analyze_link(paper_config, 10.0)
+        assert p.response("search") < 1.3 * serial
+
+    def test_monotone_in_rate(self, paper_config):
+        responses = [analyze_link(paper_config, r).response("insert")
+                     for r in (1.0, 5.0, 20.0, 50.0)]
+        assert all(a < b for a, b in zip(responses, responses[1:]))
+
+    def test_nonpositive_rate_rejected(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            analyze_link(paper_config, 0.0)
+
+
+class TestLinkCrossing:
+    def test_probability_is_tiny(self, paper_config):
+        for rate in (1.0, 10.0, 30.0):
+            p = link_crossing_probability(paper_config, rate, level=1)
+            assert p < 0.01
+
+    def test_scales_with_rate(self, paper_config):
+        low = link_crossing_probability(paper_config, 1.0, level=1)
+        high = link_crossing_probability(paper_config, 10.0, level=1)
+        assert high == pytest.approx(10 * low, rel=1e-6)
+
+    def test_roughly_level_independent(self, paper_config):
+        """Crossing probability barely varies with the level: the
+        split-propagation decay cancels against the node-count decay."""
+        probs = [link_crossing_probability(paper_config, 10.0, level=level)
+                 for level in (1, 2, 3)]
+        assert max(probs) < 1.5 * min(probs)
+
+    def test_level_bounds(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            link_crossing_probability(paper_config, 1.0, level=0)
+        with pytest.raises(ConfigurationError):
+            link_crossing_probability(paper_config, 1.0, level=99)
+
+
+class TestAlgorithmOrdering:
+    """The paper's headline comparison (Figure 12 / Section 5.3)."""
+
+    def test_throughput_ordering(self, paper_config):
+        from repro.model.throughput import max_throughput
+        naive = max_throughput(analyze_lock_coupling, paper_config)
+        optimistic = max_throughput(analyze_optimistic, paper_config)
+        link = max_throughput(analyze_link, paper_config)
+        assert optimistic > 2.0 * naive
+        assert link > 10.0 * optimistic
+
+    def test_response_ordering_at_high_load(self, paper_config):
+        rate = 0.55  # near the Naive knee
+        naive = analyze_lock_coupling(paper_config, rate)
+        optimistic = analyze_optimistic(paper_config, rate)
+        link = analyze_link(paper_config, rate)
+        assert naive.response("insert") > optimistic.response("insert")
+        assert optimistic.response("insert") \
+            >= link.response("insert") * 0.95

@@ -1,0 +1,142 @@
+"""Property-based tests of the analytical framework.
+
+Hypothesis sweeps the model inputs (mix, costs, shape, load) and checks
+the structural properties every queueing analysis must satisfy:
+response times are positive, increase with load, and the Theorem 6
+fixed point is an actual fixed point with sane outputs across the
+parameter space.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnstableQueueError
+from repro.model.lock_coupling import analyze_lock_coupling
+from repro.model.link import analyze_link
+from repro.model.optimistic import analyze_optimistic
+from repro.model.params import (
+    CostModel,
+    ModelConfig,
+    OperationMix,
+    TreeShape,
+)
+from repro.model.rwqueue import RWQueueInput, solve_rw_queue
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+POSITIVE_RATE = st.floats(min_value=1e-3, max_value=5.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def queue_inputs(draw):
+    lambda_r = draw(st.floats(min_value=0.0, max_value=3.0))
+    lambda_w = draw(st.floats(min_value=1e-4, max_value=0.9))
+    mu_r = draw(st.floats(min_value=0.2, max_value=5.0))
+    mu_w = draw(st.floats(min_value=0.2, max_value=5.0))
+    return RWQueueInput(lambda_r, lambda_w, mu_r, mu_w)
+
+
+@st.composite
+def model_configs(draw):
+    q_search = draw(st.floats(min_value=0.05, max_value=0.9))
+    insert_share = draw(st.floats(min_value=0.6, max_value=1.0))
+    q_insert = (1.0 - q_search) * insert_share
+    mix = OperationMix(q_search=q_search, q_insert=q_insert,
+                       q_delete=1.0 - q_search - q_insert)
+    disk_cost = draw(st.floats(min_value=1.0, max_value=10.0))
+    in_memory = draw(st.integers(min_value=0, max_value=3))
+    height = draw(st.integers(min_value=2, max_value=5))
+    fanouts = tuple(
+        draw(st.floats(min_value=3.0, max_value=30.0))
+        for _ in range(height - 1))
+    order = draw(st.integers(min_value=5, max_value=101))
+    return ModelConfig(
+        mix=mix,
+        costs=CostModel(disk_cost=disk_cost, in_memory_levels=in_memory),
+        shape=TreeShape.from_fanouts(fanouts),
+        order=order,
+    )
+
+
+class TestTheorem6Properties:
+    @_SETTINGS
+    @given(q=queue_inputs())
+    def test_fixed_point_or_saturation(self, q):
+        try:
+            sol = solve_rw_queue(q)
+        except UnstableQueueError:
+            return  # saturation is a legitimate outcome
+        assert 0.0 <= sol.rho_w < 1.0
+        assert sol.r_u >= 0.0 and sol.r_e >= 0.0
+        rhs = q.lambda_w * (1.0 / q.mu_w + sol.rho_w * sol.r_u
+                            + (1.0 - sol.rho_w) * sol.r_e)
+        assert math.isclose(sol.rho_w, rhs, rel_tol=1e-6, abs_tol=1e-9)
+        assert sol.aggregate_service_time >= 1.0 / q.mu_w
+
+    @_SETTINGS
+    @given(q=queue_inputs(),
+           factor=st.floats(min_value=1.05, max_value=2.0))
+    def test_rho_monotone_in_writer_load(self, q, factor):
+        try:
+            base = solve_rw_queue(q).rho_w
+        except UnstableQueueError:
+            return
+        heavier = RWQueueInput(q.lambda_r, q.lambda_w * factor,
+                               q.mu_r, q.mu_w)
+        try:
+            assert solve_rw_queue(heavier).rho_w > base
+        except UnstableQueueError:
+            pass  # pushed past the boundary: consistent with monotonicity
+
+
+ANALYZERS = (analyze_lock_coupling, analyze_optimistic, analyze_link)
+
+
+class TestAnalysisProperties:
+    @_SETTINGS
+    @given(config=model_configs(), rate=POSITIVE_RATE,
+           analyzer=st.sampled_from(ANALYZERS))
+    def test_stable_predictions_are_sane(self, config, rate, analyzer):
+        prediction = analyzer(config, rate)
+        if not prediction.stable:
+            assert prediction.saturated_level is not None
+            assert prediction.response("search") == math.inf
+            return
+        assert len(prediction.levels) == config.height
+        serial_search = sum(config.costs.se(level, config.height)
+                            for level in range(1, config.height + 1))
+        assert prediction.response("search") >= serial_search * (1 - 1e-9)
+        for op in ("search", "insert", "delete"):
+            assert prediction.response(op) > 0.0
+        for level in prediction.levels:
+            assert 0.0 <= level.rho_w < 1.0
+            assert level.R >= 0.0
+            assert level.W >= level.R
+
+    @_SETTINGS
+    @given(config=model_configs(), rate=st.floats(min_value=1e-3,
+                                                  max_value=0.5),
+           analyzer=st.sampled_from(ANALYZERS))
+    def test_response_monotone_in_load(self, config, rate, analyzer):
+        low = analyzer(config, rate)
+        high = analyzer(config, rate * 1.5)
+        assume(low.stable and high.stable)
+        for op in ("search", "insert", "delete"):
+            assert high.response(op) >= low.response(op) - 1e-9
+
+    @_SETTINGS
+    @given(config=model_configs(), rate=st.floats(min_value=1e-3,
+                                                  max_value=0.3))
+    def test_optimistic_never_loads_the_root_more_than_naive(self, config,
+                                                             rate):
+        """Across the whole parameter space, turning updates' upper-level
+        W locks into R locks (Optimistic Descent's whole point) can only
+        lower the root writer utilization."""
+        naive = analyze_lock_coupling(config, rate)
+        optimistic = analyze_optimistic(config, rate)
+        assume(naive.stable and optimistic.stable)
+        assert naive.root_writer_utilization \
+            >= optimistic.root_writer_utilization - 1e-9

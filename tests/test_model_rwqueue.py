@@ -1,0 +1,119 @@
+"""Unit tests for the FCFS R/W queue fixed point (Theorem 6)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, UnstableQueueError
+from repro.model.rwqueue import (
+    RWQueueInput,
+    solve_rw_queue,
+    writer_utilization,
+)
+
+
+def _solve(lambda_r, lambda_w, mu_r, mu_w):
+    return solve_rw_queue(RWQueueInput(lambda_r, lambda_w, mu_r, mu_w))
+
+
+class TestLimits:
+    def test_no_writers(self):
+        sol = _solve(1.0, 0.0, 2.0, 1.0)
+        assert sol.rho_w == 0.0
+        assert sol.aggregate_service_time == 0.0
+
+    def test_no_readers_reduces_to_mm1(self):
+        """Without readers the fixed point is rho = lambda_w / mu_w."""
+        sol = _solve(0.0, 0.3, 1.0, 1.0)
+        assert sol.rho_w == pytest.approx(0.3)
+        assert sol.r_u == 0.0
+        assert sol.r_e == 0.0
+        assert sol.aggregate_service_time == pytest.approx(1.0)
+
+    def test_readers_inflate_utilization(self):
+        base = _solve(0.0, 0.3, 1.0, 1.0).rho_w
+        with_readers = _solve(0.5, 0.3, 1.0, 1.0).rho_w
+        assert with_readers > base
+
+
+class TestFixedPoint:
+    @pytest.mark.parametrize("lambda_r,lambda_w,mu_r,mu_w", [
+        (0.5, 0.2, 1.0, 1.0),
+        (2.0, 0.1, 3.0, 0.8),
+        (0.05, 0.4, 1.0, 2.0),
+        (1.0, 0.01, 1.0, 0.05),
+    ])
+    def test_residual_is_zero(self, lambda_r, lambda_w, mu_r, mu_w):
+        sol = _solve(lambda_r, lambda_w, mu_r, mu_w)
+        rhs = lambda_w * (1.0 / mu_w
+                          + sol.rho_w * sol.r_u
+                          + (1.0 - sol.rho_w) * sol.r_e)
+        assert sol.rho_w == pytest.approx(rhs, abs=1e-9)
+
+    def test_theorem6_drain_formulas(self):
+        sol = _solve(0.5, 0.2, 1.0, 1.0)
+        expected_r_u = math.log1p(sol.rho_w * 0.5 / 0.2) / 1.0
+        expected_r_e = math.log1p((1 + sol.rho_w) * 0.5 / (1.0 + 0.2)) / 1.0
+        assert sol.r_u == pytest.approx(expected_r_u)
+        assert sol.r_e == pytest.approx(expected_r_e)
+
+    def test_aggregate_service_composition(self):
+        sol = _solve(0.5, 0.2, 1.0, 1.0)
+        assert sol.aggregate_service_time == pytest.approx(
+            1.0 + sol.mean_reader_drain)
+
+    def test_monotone_in_writer_rate(self):
+        rhos = [_solve(0.5, lw, 1.0, 1.0).rho_w
+                for lw in (0.05, 0.1, 0.2, 0.4)]
+        assert all(a < b for a, b in zip(rhos, rhos[1:]))
+
+    def test_monotone_in_reader_rate(self):
+        rhos = [_solve(lr, 0.2, 1.0, 1.0).rho_w
+                for lr in (0.1, 0.5, 1.0, 2.0)]
+        assert all(a < b for a, b in zip(rhos, rhos[1:]))
+
+    def test_reader_drain_logarithmic(self):
+        """Serving n readers grows like log n: doubling the reader rate
+        must not double the drain."""
+        lo = _solve(1.0, 0.2, 1.0, 1.0)
+        hi = _solve(2.0, 0.2, 1.0, 1.0)
+        assert hi.r_e < 2.0 * lo.r_e
+        assert hi.r_e > lo.r_e
+
+
+class TestSaturation:
+    def test_overload_raises(self):
+        with pytest.raises(UnstableQueueError):
+            _solve(0.5, 1.5, 1.0, 1.0)
+
+    def test_exact_boundary_raises(self):
+        with pytest.raises(UnstableQueueError):
+            _solve(0.0, 1.0, 1.0, 1.0)
+
+    def test_level_attached_to_error(self):
+        with pytest.raises(UnstableQueueError) as exc_info:
+            solve_rw_queue(RWQueueInput(0.5, 1.5, 1.0, 1.0), level=3)
+        assert exc_info.value.level == 3
+
+    def test_writer_utilization_returns_inf(self):
+        assert writer_utilization(RWQueueInput(0.5, 1.5, 1.0, 1.0)) == math.inf
+        assert writer_utilization(RWQueueInput(0.0, 0.3, 1.0, 1.0)) \
+            == pytest.approx(0.3)
+
+
+class TestValidation:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RWQueueInput(-1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RWQueueInput(0.0, -1.0, 1.0, 1.0)
+
+    def test_arrivals_need_service_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RWQueueInput(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RWQueueInput(0.0, 1.0, 1.0, 0.0)
+
+    def test_idle_queue_is_fine(self):
+        sol = solve_rw_queue(RWQueueInput(0.0, 0.0, 0.0, 0.0))
+        assert sol.rho_w == 0.0

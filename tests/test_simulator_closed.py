@@ -1,0 +1,82 @@
+"""Tests for the closed-system (fixed multiprogramming level) mode."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import SimulationConfig
+from repro.simulator.closed import run_closed_simulation
+
+
+def _config(algorithm="naive-lock-coupling", **overrides):
+    defaults = dict(algorithm=algorithm, arrival_rate=1.0, n_items=3_000,
+                    n_operations=400, warmup_operations=50, seed=13)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestBasics:
+    def test_runs_and_reports_throughput(self):
+        result = run_closed_simulation(_config(), multiprogramming_level=4)
+        assert result.measured_operations >= 400
+        assert result.throughput > 0
+        assert math.isnan(result.arrival_rate)  # no open stream
+        assert not result.overflowed
+        assert result.peak_population == 4
+
+    def test_deterministic(self):
+        a = run_closed_simulation(_config(), 5)
+        b = run_closed_simulation(_config(), 5)
+        assert a.throughput == b.throughput
+        assert a.mean_response == b.mean_response
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_closed_simulation(_config(), 0)
+        with pytest.raises(ConfigurationError):
+            run_closed_simulation(_config(), 5, think_time=-1.0)
+
+
+class TestClosedSystemLaws:
+    def test_single_terminal_throughput_is_inverse_response(self):
+        """With MPL 1 there is no contention: throughput = 1 / mean
+        response (Little's law for one customer, zero think time)."""
+        result = run_closed_simulation(_config(n_operations=600), 1)
+        assert result.throughput == pytest.approx(
+            1.0 / result.overall_mean_response, rel=0.05)
+
+    def test_think_time_lowers_throughput(self):
+        busy = run_closed_simulation(_config(), 4, think_time=0.0)
+        idle = run_closed_simulation(_config(), 4, think_time=50.0)
+        assert idle.throughput < busy.throughput
+
+    def test_throughput_saturates_for_lock_coupling(self):
+        """The defining closed-system curve: throughput grows with MPL
+        then plateaus at the lock-coupling capacity while response keeps
+        climbing."""
+        results = {mpl: run_closed_simulation(_config(), mpl)
+                   for mpl in (2, 10, 40)}
+        assert results[10].throughput > 1.5 * results[2].throughput
+        # Plateau: 4x more terminals, < 35% more throughput.
+        assert results[40].throughput < 1.35 * results[10].throughput
+        # ... but responses keep growing.
+        assert results[40].mean_response["search"] \
+            > 2.0 * results[10].mean_response["search"]
+        assert results[40].root_writer_utilization > 0.9
+
+    def test_link_type_keeps_scaling(self):
+        low = run_closed_simulation(_config("link-type"), 5)
+        high = run_closed_simulation(_config("link-type"), 40)
+        assert high.throughput > 4.0 * low.throughput
+        assert high.mean_response["search"] \
+            < 2.0 * low.mean_response["search"]
+
+    def test_ordering_at_the_motivating_mpl(self):
+        """The Section 1 scenario: at a multiprogramming level of ~50,
+        link-type sustains far more throughput than lock-coupling."""
+        naive = run_closed_simulation(_config(), 50)
+        link = run_closed_simulation(_config("link-type"), 50)
+        assert link.throughput > 2.5 * naive.throughput
+        assert link.mean_response["search"] \
+            < 0.5 * naive.mean_response["search"]

@@ -1,0 +1,149 @@
+"""Correctness of the concurrent algorithms: after a full simulated run
+the shared tree must still satisfy every structural invariant, and the
+lock discipline must never have been violated (violations raise during
+the run)."""
+
+import pytest
+
+from repro.btree.validate import check_invariants
+from repro.simulator import SimulationConfig
+from repro.simulator.driver import (
+    _ALGORITHM_MODULES,
+    run_simulation,
+)
+
+# Re-run the driver but keep a handle on the tree: we rebuild the run via
+# a tiny wrapper around run_simulation internals would be invasive;
+# instead we exercise the operation processes directly on a shared tree.
+import random
+
+from repro.btree.builder import build_tree
+from repro.btree.node import Node
+from repro.des.engine import Simulator
+from repro.des.rwlock import RWLock
+from repro.model.params import CostModel, PAPER_MIX
+from repro.simulator.costs import ServiceTimeSampler
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.operations import OperationContext, pick_resident_key
+
+
+def _drive(algorithm: str, n_ops: int = 800, rate: float = 0.5,
+           seed: int = 1, order: int = 5, n_items: int = 800,
+           recovery: str = "no-recovery"):
+    """Run ``n_ops`` concurrent operations of ``algorithm`` on a small,
+    split-happy tree and return (tree, metrics, issued ops)."""
+    module = _ALGORITHM_MODULES[algorithm]
+    rng = random.Random(seed)
+
+    def attach_lock(node: Node) -> None:
+        node.lock = RWLock(name=str(node.node_id))
+
+    tree = build_tree(n_items, order=order, key_space=5_000,
+                      rng=random.Random(seed + 1), on_new_node=attach_lock)
+    sim = Simulator()
+    metrics = MetricsCollector()
+    metrics.measuring = True
+    metrics.measure_start_time = 0.0
+    sampler = ServiceTimeSampler(CostModel(disk_cost=2.0), tree,
+                                 random.Random(seed + 2))
+    ctx = OperationContext(sim, tree, sampler, metrics, rng,
+                           recovery=recovery, t_trans=20.0)
+    issued = []
+    t = 0.0
+    for _ in range(n_ops):
+        t += rng.expovariate(rate)
+        u = rng.random()
+        if u < PAPER_MIX.q_search:
+            op, key = "search", rng.randrange(5_000)
+        elif u < PAPER_MIX.q_search + PAPER_MIX.q_insert:
+            op, key = "insert", rng.randrange(5_000)
+        else:
+            op, key = "delete", pick_resident_key(tree, rng, 5_000)
+        issued.append((op, key))
+        factory = getattr(module, op)
+        sim.spawn(factory(ctx, key), name=op, delay=t)
+    sim.run()
+    assert sim.active_processes == 0
+    return tree, metrics, issued
+
+
+ALGORITHMS = ["naive-lock-coupling", "optimistic-descent", "link-type"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_invariants_after_concurrent_run(algorithm, seed):
+    tree, _metrics, _issued = _drive(algorithm, seed=seed)
+    # Link trees may hold empty leaves (link-type never merges; the
+    # symmetric variant's merges are best-effort).
+    check_invariants(tree, allow_underflow=algorithm.startswith("link"))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_no_locks_leaked(algorithm):
+    tree, _metrics, _issued = _drive(algorithm, n_ops=400)
+    for level in range(1, tree.height + 1):
+        for node in tree.level_nodes(level):
+            assert node.lock.writer is None
+            assert not node.lock.readers
+            assert node.lock.queue_length == 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_inserted_keys_are_findable(algorithm):
+    """Every key inserted (and not later deleted) must be in the tree."""
+    tree, _metrics, issued = _drive(algorithm, n_ops=600, seed=7)
+    final_state = {}
+    for op, key in issued:
+        if op == "insert":
+            final_state[key] = True
+        elif op == "delete":
+            final_state[key] = False
+    # Concurrency can reorder same-key operations that overlap in time,
+    # so only check keys touched exactly once.
+    touch_counts = {}
+    for op, key in issued:
+        if op != "search":
+            touch_counts[key] = touch_counts.get(key, 0) + 1
+    resident = set(tree.items())
+    for key, wanted in final_state.items():
+        if touch_counts.get(key, 0) == 1 and wanted:
+            assert key in resident, f"lost insert of {key}"
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_size_counter_matches_contents(algorithm):
+    tree, _metrics, _issued = _drive(algorithm, n_ops=500, seed=9)
+    assert len(tree) == sum(1 for _ in tree.items())
+
+
+def test_naive_update_splits_under_pressure():
+    tree, metrics, _issued = _drive("naive-lock-coupling", n_ops=1_000,
+                                    rate=1.0, seed=4)
+    assert metrics.splits > 0
+
+
+def test_optimistic_redo_counted():
+    _tree, metrics, _issued = _drive("optimistic-descent", n_ops=1_000,
+                                     rate=1.0, seed=5)
+    assert metrics.redo_descents > 0
+
+
+@pytest.mark.parametrize("recovery", ["leaf-only-recovery",
+                                      "naive-recovery"])
+def test_recovery_retention_releases_everything(recovery):
+    """Retained locks must all be released once transactions commit."""
+    tree, _metrics, _issued = _drive("optimistic-descent", n_ops=400,
+                                     recovery=recovery)
+    for level in range(1, tree.height + 1):
+        for node in tree.level_nodes(level):
+            assert node.lock.writer is None
+            assert node.lock.queue_length == 0
+    check_invariants(tree)
+
+
+def test_full_driver_tree_is_validated_indirectly(quick_sim):
+    """The packaged driver produces consistent metrics end to end."""
+    result = run_simulation(quick_sim)
+    assert result.final_tree_size > 0
+    assert result.final_height >= 2

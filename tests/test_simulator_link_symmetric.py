@@ -1,0 +1,97 @@
+"""Tests for the symmetric Link-type algorithm (Lanin-Shasha style
+inline merge-at-empty deletes)."""
+
+import random
+
+import pytest
+
+from repro.btree.builder import build_tree
+from repro.btree.node import Node
+from repro.btree.validate import check_invariants
+from repro.des.engine import Simulator
+from repro.des.rwlock import RWLock
+from repro.model.params import CostModel
+from repro.simulator import SimulationConfig, run_simulation
+from repro.simulator import link as link_plain
+from repro.simulator import link_symmetric
+from repro.simulator.costs import ServiceTimeSampler
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.operations import OperationContext
+
+
+def _count_empty_leaves(tree) -> int:
+    return sum(1 for leaf in tree.leaves()
+               if not leaf.keys and leaf is not tree.root)
+
+
+def _delete_heavy(module, seed: int):
+    """Delete most of a small link tree through ``module``'s delete."""
+    rng = random.Random(seed)
+
+    def attach(node: Node) -> None:
+        node.lock = RWLock(str(node.node_id))
+
+    tree = build_tree(600, order=4, key_space=1_500,
+                      rng=random.Random(seed + 1), on_new_node=attach)
+    sim = Simulator()
+    metrics = MetricsCollector()
+    metrics.measuring = True
+    metrics.measure_start_time = 0.0
+    ctx = OperationContext(
+        sim, tree, ServiceTimeSampler(CostModel(disk_cost=2.0), tree,
+                                      random.Random(seed + 2)),
+        metrics, rng)
+    resident = list(tree.items())
+    rng.shuffle(resident)
+    t = 0.0
+    for key in resident[:450]:
+        t += rng.expovariate(2.0)
+        sim.spawn(module.delete(ctx, key), delay=t)
+    sim.run()
+    assert sim.active_processes == 0
+    return tree, metrics
+
+
+def test_inline_merges_prevent_empty_leaf_buildup():
+    plain_tree, _pm = _delete_heavy(link_plain, seed=3)
+    sym_tree, metrics = _delete_heavy(link_symmetric, seed=3)
+    assert metrics.leaf_removals > 0
+    assert _count_empty_leaves(sym_tree) \
+        < _count_empty_leaves(plain_tree) / 3
+    check_invariants(sym_tree, allow_underflow=True)
+
+
+def test_contents_preserved():
+    tree, _metrics = _delete_heavy(link_symmetric, seed=9)
+    keys = list(tree.items())
+    assert keys == sorted(keys)
+    check_invariants(tree, allow_underflow=True)
+
+
+def test_shares_search_and_insert_with_lehman_yao():
+    assert link_symmetric.search is link_plain.search
+    assert link_symmetric.insert is link_plain.insert
+    assert link_symmetric.scan is link_plain.scan
+
+
+def test_full_driver_run():
+    result = run_simulation(SimulationConfig(
+        algorithm="link-symmetric", arrival_rate=1.0, n_items=3_000,
+        n_operations=600, warmup_operations=60, seed=2))
+    assert not result.overflowed
+    assert result.measured_operations >= 600
+
+
+def test_performance_matches_plain_link():
+    """Under the paper's insert-heavy mix, symmetric deletes almost
+    never fire, so the two link variants perform identically."""
+    def run(algorithm):
+        return run_simulation(SimulationConfig(
+            algorithm=algorithm, arrival_rate=2.0, n_items=5_000,
+            n_operations=1_000, warmup_operations=100, seed=6))
+
+    plain = run("link-type")
+    symmetric = run("link-symmetric")
+    for op in ("search", "insert", "delete"):
+        assert symmetric.mean_response[op] == pytest.approx(
+            plain.mean_response[op], rel=0.20)

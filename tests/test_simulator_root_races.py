@@ -1,0 +1,124 @@
+"""White-box tests for root-pointer races.
+
+A process that queues on what it believes is the root can find, once
+granted, that the tree grew (root split) or shrank (root collapse)
+while it waited.  These tests construct those interleavings
+deterministically and assert the restart logic delivers the right
+answer anyway.
+"""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree, check_invariants
+from repro.btree.node import Node
+from repro.des.engine import Simulator
+from repro.des.rwlock import RWLock
+from repro.model.params import CostModel
+from repro.simulator import lock_coupling, optimistic
+from repro.simulator.costs import ServiceTimeSampler
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.operations import OperationContext
+
+
+def _setup(order=3, keys=()):
+    def attach(node: Node) -> None:
+        node.lock = RWLock(f"n{node.node_id}")
+
+    tree = BPlusTree(order=order, on_new_node=attach)
+    for key in keys:
+        tree.insert(key)
+    sim = Simulator()
+    metrics = MetricsCollector()
+    metrics.measuring = True
+    metrics.measure_start_time = 0.0
+    ctx = OperationContext(
+        sim, tree,
+        ServiceTimeSampler(CostModel(disk_cost=1.0), tree,
+                           random.Random(0)),
+        metrics, random.Random(1))
+    return tree, sim, metrics, ctx
+
+
+def test_search_restarts_after_root_split():
+    """A search queued on the root lock while an insert splits the root
+    must restart from the *new* root and still find its key — even a
+    key that moved to the new right sibling."""
+    # Order-3 root leaf holding 3 keys: one more insert splits it.
+    tree, sim, metrics, ctx = _setup(order=3, keys=(10, 20, 30))
+    assert tree.height == 1
+    found = {}
+
+    def probing_search(key):
+        yield from lock_coupling.search(ctx, key)
+        # search() records metrics; capture membership directly.
+        found[key] = tree.search(key)
+
+    # The insert arrives first and holds the root W lock while working;
+    # the search queues behind it, and by grant time the root changed.
+    sim.spawn(lock_coupling.insert(ctx, 40), delay=0.0)
+    sim.spawn(probing_search(30), delay=0.01)  # 30 moves right on split
+    sim.run()
+    assert tree.height == 2
+    assert metrics.restarts >= 1
+    assert found[30] is True
+    check_invariants(tree)
+
+
+def test_update_restarts_after_root_split():
+    tree, sim, metrics, ctx = _setup(order=3, keys=(10, 20, 30))
+    sim.spawn(lock_coupling.insert(ctx, 40), delay=0.0)
+    sim.spawn(lock_coupling.insert(ctx, 35), delay=0.01)
+    sim.run()
+    assert metrics.restarts >= 1
+    assert tree.search(35) and tree.search(40)
+    check_invariants(tree)
+
+
+def test_search_restarts_after_root_collapse():
+    """A search queued on an internal root while deletes collapse the
+    tree must restart when it finds the node dead or demoted."""
+    tree, sim, metrics, ctx = _setup(order=3,
+                                     keys=(1, 2, 3, 4, 5, 6))
+    assert tree.height >= 2
+    # Delete everything but one key: the root collapses to a leaf.
+    keys = list(tree.items())
+    t = 0.0
+    for key in keys[:-1]:
+        sim.spawn(lock_coupling.delete(ctx, key), delay=t)
+        t += 0.001  # back-to-back: searches queue behind deleters
+    sim.spawn(lock_coupling.search(ctx, keys[-1]), delay=t / 2)
+    sim.run()
+    assert tree.height == 1
+    assert tree.search(keys[-1])
+    check_invariants(tree)
+
+
+def test_optimistic_falls_back_on_single_leaf_tree():
+    """Optimistic descent on a height-1 tree takes the W-protocol
+    fallback path and still works."""
+    tree, sim, metrics, ctx = _setup(order=4, keys=(1,))
+    assert tree.height == 1
+    sim.spawn(optimistic.insert(ctx, 2), delay=0.0)
+    sim.spawn(optimistic.delete(ctx, 1), delay=0.1)
+    sim.run()
+    assert tree.search(2)
+    assert not tree.search(1)
+    check_invariants(tree)
+
+
+def test_optimistic_redo_on_full_leaf():
+    """An optimistic insert into a full leaf must release, redo with W
+    locks, split, and succeed."""
+    tree, sim, metrics, ctx = _setup(order=3, keys=(10, 20, 30, 40))
+    assert tree.height == 2
+    full_leaf = tree.find_leaf(40)
+    while not tree.overflowed(full_leaf) and full_leaf.n_entries() < 3:
+        tree.insert(full_leaf.keys[-1] + 1)
+    target = full_leaf.keys[-1] + 1
+    sim.spawn(optimistic.insert(ctx, target), delay=0.0)
+    sim.run()
+    assert metrics.redo_descents >= 1
+    assert tree.search(target)
+    check_invariants(tree)
