@@ -1,0 +1,60 @@
+"""Smoke benchmark: serial vs parallel regeneration of one figure.
+
+Regenerates Figure 3 twice at the configured ``--figure-scale``
+(default 0.05) — once serially, once on a worker pool — asserts the two
+series are identical (the parallel layer's determinism contract), and
+records both wall times to ``benchmarks/results/parallel_speedup.txt``.
+
+The parallel leg uses ``--jobs`` when given (> 1), else
+``min(4, cpu count)``.  No result cache is involved: both legs compute
+every point, so the recorded ratio is pure fan-out speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+
+from repro.experiments.registry import get_experiment
+from repro.parallel import execution
+
+
+def _regenerate(scale: float, jobs: int):
+    experiment = get_experiment("fig03")
+    with execution(jobs=jobs, cache=None):
+        start = time.perf_counter()
+        table = experiment.run(scale=scale, simulate=True)
+        elapsed = time.perf_counter() - start
+    return table, elapsed
+
+
+def test_parallel_speedup(benchmark, figure_scale, figure_jobs):
+    jobs = figure_jobs if figure_jobs > 1 else min(4, os.cpu_count() or 1)
+
+    serial_table, serial_time = _regenerate(figure_scale, jobs=1)
+
+    def parallel_run():
+        return _regenerate(figure_scale, jobs=jobs)
+
+    parallel_table, parallel_time = benchmark.pedantic(
+        parallel_run, rounds=1, iterations=1)
+
+    # Determinism contract: fan-out must not change a single value.
+    assert parallel_table.rows == serial_table.rows
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else 1.0
+    lines = [
+        "parallel sweep smoke benchmark (fig03, no cache)",
+        f"figure_scale     {figure_scale}",
+        f"jobs             {jobs}",
+        f"cpus             {os.cpu_count()}",
+        f"serial_seconds   {serial_time:.3f}",
+        f"parallel_seconds {parallel_time:.3f}",
+        f"speedup          {speedup:.2f}x",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / "parallel_speedup.txt").write_text(text)
+    print("\n" + text)

@@ -7,7 +7,10 @@ regenerating the figure.
 
 ``--figure-scale`` controls simulation effort (default 0.05: ~500
 measured operations per point, one seed — enough to see the shape; use
-1.0 for the paper's full 10,000 x 5 seeds).
+1.0 for the paper's full 10,000 x 5 seeds).  ``--jobs N`` runs each
+figure's independent simulation runs on ``N`` worker processes (see
+:mod:`repro.parallel`); the regenerated series are identical, only the
+wall time changes.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import pytest
 
 from repro.experiments.common import ExperimentTable
 from repro.experiments.report import format_table
+from repro.parallel import execution
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -27,11 +31,28 @@ def pytest_addoption(parser):
         "--figure-scale", type=float, default=0.05,
         help="simulation effort scale for figure benchmarks "
              "(1.0 = paper scale)")
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="worker processes for each figure's simulation runs "
+             "(default 1: serial)")
 
 
 @pytest.fixture
 def figure_scale(request) -> float:
     return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture
+def figure_jobs(request) -> int:
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(autouse=True)
+def _figure_execution(figure_jobs):
+    """Route every benchmark's simulation batches through the requested
+    worker pool (no result cache: benchmarks time real regeneration)."""
+    with execution(jobs=figure_jobs, cache=None):
+        yield
 
 
 @pytest.fixture

@@ -53,6 +53,15 @@ class MergePolicy:
     def __str__(self) -> str:
         return self.name
 
+    def __reduce__(self):
+        # Unpickle back to the canonical singleton: the tree and the
+        # simulator config compare policies by identity, and configs
+        # cross process boundaries in the parallel sweep layer.
+        canonical = _POLICIES.get(self.name)
+        if canonical is not None and canonical == self:
+            return (policy_by_name, (self.name,))
+        return super().__reduce__()
+
 
 MERGE_AT_EMPTY = MergePolicy("merge-at-empty", 0, 1)
 MERGE_AT_HALF = MergePolicy("merge-at-half", 1, 2)

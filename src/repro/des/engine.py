@@ -133,12 +133,16 @@ class Simulator:
         Returns the simulation time at which the run stopped.
         """
         self._stopped = False
-        while self._heap:
-            time, _seq, action = self._heap[0]
+        # Local bindings: this loop executes once per event and the
+        # attribute/global lookups are measurable at sweep scale.
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            time, _seq, action = heap[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._heap)
+            heappop(heap)
             self._now = time
             action()
             if self._stopped or (stop_when is not None and stop_when()):
@@ -158,8 +162,42 @@ class Simulator:
         """Advance ``process`` until it blocks, holds, or finishes."""
         if process.done:
             raise ProcessError(f"{process!r} resumed after completion")
+        if self.trace is None:
+            # Hot path: the trace check is hoisted out of the command
+            # loop entirely (tracing is off for every production sweep).
+            send = process.generator.send
+            while True:
+                try:
+                    command = send(send_value)
+                except StopIteration:
+                    self._finish(process)
+                    return
+                if isinstance(command, Hold):
+                    if command.duration == 0.0:
+                        send_value = None
+                        continue
+                    self.resume(process, None, delay=command.duration)
+                    return
+                if isinstance(command, Release):
+                    command.lock.release(self, process)
+                    send_value = None
+                    continue
+                if isinstance(command, Acquire):
+                    granted = command.lock.request(self, process,
+                                                   command.mode)
+                    if granted:
+                        send_value = 0.0
+                        continue
+                    return  # the lock will resume us with the wait time
+                raise ProcessError(
+                    f"{process!r} yielded unsupported command {command!r}"
+                )
+        self._step_traced(process, send_value)
+
+    def _step_traced(self, process: Process, send_value) -> None:
+        """The :meth:`_step` loop with per-command trace records."""
         trace = self.trace
-        if trace is not None and process.pending_acquire is not None:
+        if process.pending_acquire is not None:
             pending = process.pending_acquire
             process.pending_acquire = None
             trace.record(self._now, "grant", process.pid, process.name,
@@ -172,35 +210,31 @@ class Simulator:
                 self._finish(process)
                 return
             if isinstance(command, Hold):
-                if trace is not None:
-                    trace.record(self._now, "hold", process.pid,
-                                 process.name, f"{command.duration:.4f}")
+                trace.record(self._now, "hold", process.pid,
+                             process.name, f"{command.duration:.4f}")
                 if command.duration == 0.0:
                     send_value = None
                     continue
                 self.resume(process, None, delay=command.duration)
                 return
             if isinstance(command, Release):
-                if trace is not None:
-                    trace.record(self._now, "release", process.pid,
-                                 process.name, command.lock.name)
+                trace.record(self._now, "release", process.pid,
+                             process.name, command.lock.name)
                 command.lock.release(self, process)
                 send_value = None
                 continue
             if isinstance(command, Acquire):
-                if trace is not None:
-                    trace.record(self._now, "request", process.pid,
-                                 process.name,
-                                 f"{command.mode} {command.lock.name}")
+                trace.record(self._now, "request", process.pid,
+                             process.name,
+                             f"{command.mode} {command.lock.name}")
                 granted = command.lock.request(self, process, command.mode)
                 if granted:
                     # No contention: the wait is zero and the process
                     # continues within this same step.
-                    if trace is not None:
-                        trace.record(self._now, "grant", process.pid,
-                                     process.name,
-                                     f"{command.mode} {command.lock.name} "
-                                     "immediately")
+                    trace.record(self._now, "grant", process.pid,
+                                 process.name,
+                                 f"{command.mode} {command.lock.name} "
+                                 "immediately")
                     send_value = 0.0
                     continue
                 process.pending_acquire = command

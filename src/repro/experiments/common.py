@@ -8,8 +8,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.params import ModelConfig
 from repro.model.results import AlgorithmPrediction
+from repro.parallel import SimTask, replication_tasks, run_batch
 from repro.simulator.config import SimulationConfig
-from repro.simulator.driver import pooled_response_means, run_replications
+from repro.simulator.driver import pooled_response_means
+from repro.simulator.metrics import SimulationResult
 
 Analyzer = Callable[..., AlgorithmPrediction]
 
@@ -66,17 +68,48 @@ def model_response(analyzer: Analyzer, config: ModelConfig, rate: float,
     return prediction.response(operation)
 
 
-def simulated_response(base: SimulationConfig, rate: float, operation: str,
+def sweep_replications(base: SimulationConfig, rates: Sequence[float],
                        scale: float, seeds: Optional[int] = None,
-                       ) -> Dict[str, float]:
-    """Pooled simulated response means at ``rate`` (over several seeds)."""
-    config = scaled_sim_config(base.with_rate(rate), scale)
+                       ) -> List[List[SimulationResult]]:
+    """Replication results for every rate, one fan-out for the grid.
+
+    Flattens the whole ``(rate, seed)`` grid into a single
+    :func:`~repro.parallel.run_batch` call, so a parallel execution
+    context overlaps *all* of a figure's simulation runs instead of
+    blocking point by point; returns the per-rate result lists in rate
+    order (each in seed order, identical to serial execution).
+    """
     n = seeds if seeds is not None else sim_seeds(scale)
-    results = run_replications(config, n_seeds=n)
+    tasks: List[SimTask] = []
+    for rate in rates:
+        config = scaled_sim_config(base.with_rate(rate), scale)
+        tasks.extend(replication_tasks(config, n))
+    flat = run_batch(tasks)
+    return [flat[i * n:(i + 1) * n] for i in range(len(rates))]
+
+
+def _pooled_means(results: Sequence[SimulationResult]) -> Dict[str, float]:
     means = pooled_response_means(results)
     means["_overflow_fraction"] = (
         sum(1 for r in results if r.overflowed) / len(results))
     return means
+
+
+def sweep_simulated_responses(base: SimulationConfig,
+                              rates: Sequence[float], scale: float,
+                              seeds: Optional[int] = None,
+                              ) -> List[Dict[str, float]]:
+    """Pooled simulated response means for every rate (one fan-out)."""
+    return [_pooled_means(results)
+            for results in sweep_replications(base, rates, scale, seeds)]
+
+
+def simulated_response(base: SimulationConfig, rate: float, operation: str,
+                       scale: float, seeds: Optional[int] = None,
+                       ) -> Dict[str, float]:
+    """Pooled simulated response means at ``rate`` (over several seeds)."""
+    del operation  # kept for call-site readability; means cover all ops
+    return sweep_simulated_responses(base, [rate], scale, seeds)[0]
 
 
 def response_sweep(table: ExperimentTable, rates: Sequence[float],
@@ -87,17 +120,20 @@ def response_sweep(table: ExperimentTable, rates: Sequence[float],
     """Fill ``table`` with (rate, model, sim) response-time rows.
 
     When ``sim_base`` is None only the analytical column is produced
-    (columns must match).
+    (columns must match).  The simulated points for the whole sweep are
+    submitted as one batch, so under ``execution(jobs=N)`` they run
+    concurrently.
     """
     kwargs = analyzer_kwargs or {}
-    for rate in rates:
-        model = model_response(analyzer, model_config, rate, operation,
-                               **kwargs)
-        if sim_base is None:
+    models = [model_response(analyzer, model_config, rate, operation,
+                             **kwargs) for rate in rates]
+    if sim_base is None:
+        for rate, model in zip(rates, models):
             table.add(rate, _rounded(model))
-        else:
-            sim = simulated_response(sim_base, rate, operation, scale)
-            table.add(rate, _rounded(model), _rounded(sim[operation]))
+        return
+    sims = sweep_simulated_responses(sim_base, rates, scale)
+    for rate, model, sim in zip(rates, models, sims):
+        table.add(rate, _rounded(model), _rounded(sim[operation]))
 
 
 def _rounded(value: float, digits: int = 3) -> float:

@@ -23,7 +23,10 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConvergenceError
-from repro.experiments.common import ExperimentTable, simulated_response
+from repro.experiments.common import (
+    ExperimentTable,
+    sweep_simulated_responses,
+)
 from repro.model import (
     analyze_link,
     analyze_lock_coupling,
@@ -34,6 +37,7 @@ from repro.model import (
 )
 from repro.model.buffering import buffered_config, pages_for_top_levels
 from repro.model.params import OperationMix
+from repro.parallel import SimTask, run_batch
 from repro.simulator.config import SimulationConfig
 
 _ANALYZERS = (
@@ -55,15 +59,18 @@ def ext01(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
         "ext01",
         "Insert response with Two-Phase Locking added to the comparison",
         "Extension (full version): Two-Phase Locking", columns)
-    for rate in (0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.3, 1.0):
+    rates = (0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.3, 1.0)
+    sim_means = None
+    if simulate:
+        base = SimulationConfig(algorithm="two-phase-locking")
+        sim_means = sweep_simulated_responses(base, rates, scale)
+    for index, rate in enumerate(rates):
         row = [rate]
         for _name, analyzer in _ANALYZERS:
             value = analyzer(config, rate).response("insert")
             row.append(math.inf if math.isinf(value) else round(value, 3))
-        if simulate:
-            base = SimulationConfig(algorithm="two-phase-locking",
-                                    arrival_rate=rate)
-            means = simulated_response(base, rate, "insert", scale)
+        if sim_means is not None:
+            means = sim_means[index]
             row.append(math.inf if means["_overflow_fraction"] == 1.0
                        else round(means["insert"], 3))
         table.add(*row)
@@ -139,7 +146,6 @@ def ext04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     interactive response-time-law prediction alongside the simulation."""
     from repro.model.closed import closed_system_prediction
     from repro.model.validation import measured_model_config
-    from repro.simulator.closed import run_closed_simulation
     table = ExperimentTable(
         "ext04",
         "Closed-system throughput / search response vs multiprogramming "
@@ -164,11 +170,16 @@ def ext04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
 
     naive_model = measured_model_config(
         sim_config(_CLOSED_ALGORITHMS[0], 1))
+    # The whole (mpl, algorithm) grid fans out as one batch of closed
+    # tasks; run_batch preserves submission order.
+    tasks = [SimTask(sim_config(algorithm, mpl), kind="closed", mpl=mpl)
+             for mpl in _MPL_LEVELS for algorithm in _CLOSED_ALGORITHMS]
+    flat = iter(run_batch(tasks))
     for mpl in _MPL_LEVELS:
         throughputs = []
         responses = []
-        for algorithm in _CLOSED_ALGORITHMS:
-            result = run_closed_simulation(sim_config(algorithm, mpl), mpl)
+        for _algorithm in _CLOSED_ALGORITHMS:
+            result = next(flat)
             throughputs.append(round(result.throughput, 4))
             responses.append(round(result.mean_response["search"], 3))
         predicted = closed_system_prediction(analyze_lock_coupling,
@@ -186,7 +197,6 @@ def ext04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
 
 def ext05(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Simulated insert response vs hotspot skew (hot 20% of keys)."""
-    from repro.simulator.driver import run_simulation
     del simulate  # inherently simulated
     table = ExperimentTable(
         "ext05",
@@ -197,16 +207,21 @@ def ext05(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     # The skew signal needs enough operations to resolve; keep a higher
     # floor than the other sweeps.
     n_ops = max(800, int(1_500 * scale))
-    for hot_probability in (0.2, 0.5, 0.8, 0.95):
+    skews = (0.2, 0.5, 0.8, 0.95)
+    algorithms = ("naive-lock-coupling", "link-type")
+    tasks = [
+        SimTask(SimulationConfig(
+            algorithm=algorithm, arrival_rate=0.35, n_items=8_000,
+            n_operations=n_ops, warmup_operations=max(20, n_ops // 10),
+            seed=23, key_distribution="hotspot",
+            hot_fraction=0.2, hot_probability=hot_probability))
+        for hot_probability in skews for algorithm in algorithms]
+    flat = iter(run_batch(tasks))
+    for hot_probability in skews:
         row = [hot_probability]
         rho = math.nan
-        for algorithm in ("naive-lock-coupling", "link-type"):
-            config = SimulationConfig(
-                algorithm=algorithm, arrival_rate=0.35, n_items=8_000,
-                n_operations=n_ops, warmup_operations=max(20, n_ops // 10),
-                seed=23, key_distribution="hotspot",
-                hot_fraction=0.2, hot_probability=hot_probability)
-            result = run_simulation(config)
+        for algorithm in algorithms:
+            result = next(flat)
             row.append(math.inf if result.overflowed
                        else round(result.mean_response["insert"], 3))
             if algorithm == "naive-lock-coupling":

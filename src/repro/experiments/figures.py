@@ -41,12 +41,10 @@ from repro.errors import ConvergenceError
 from repro.experiments.common import (
     ExperimentTable,
     response_sweep,
-    scaled_sim_config,
-    sim_seeds,
-    simulated_response,
+    sweep_replications,
+    sweep_simulated_responses,
 )
 from repro.simulator.config import SimulationConfig
-from repro.simulator.driver import run_replications
 
 #: Arrival-rate grids spanning low load up to each algorithm's knee
 #: (computed from the analytical maximum throughputs at D=5).
@@ -140,16 +138,17 @@ def fig09(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     table = ExperimentTable(
         "fig09", "Link-type link crossings vs arrival rate", "Figure 9",
         columns)
-    sim_base = _sim_base("link-type",
-                         costs=CostModel(disk_cost=10.0)) if simulate else None
-    for rate in LINK_RATES:
+    sim_results = None
+    if simulate:
+        sim_base = _sim_base("link-type", costs=CostModel(disk_cost=10.0))
+        sim_results = sweep_replications(sim_base, LINK_RATES, scale)
+    for index, rate in enumerate(LINK_RATES):
         model_per_1k = round(
             1000.0 * expected_crossings_per_descent(config, rate), 3)
-        if not simulate:
+        if sim_results is None:
             table.add(rate, model_per_1k)
             continue
-        sim_config = scaled_sim_config(sim_base.with_rate(rate), scale)
-        results = run_replications(sim_config, n_seeds=sim_seeds(scale))
+        results = sim_results[index]
         ops = sum(r.measured_operations for r in results)
         crossings = sum(r.link_crossings for r in results)
         per_1k = 1000.0 * crossings / ops if ops else math.nan
@@ -171,17 +170,18 @@ def fig10(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     table = ExperimentTable(
         "fig10", "Root writer utilization, Naive Lock-coupling",
         "Figure 10", columns)
-    sim_base = _sim_base("naive-lock-coupling") if simulate else None
-    for rate in NAIVE_RATES:
+    sim_results = None
+    if simulate:
+        sim_base = _sim_base("naive-lock-coupling")
+        sim_results = sweep_replications(sim_base, NAIVE_RATES, scale)
+    for index, rate in enumerate(NAIVE_RATES):
         prediction = analyze_lock_coupling(config, rate)
         rho = prediction.root_writer_utilization
         rho = math.inf if math.isinf(rho) else round(rho, 4)
-        if not simulate:
+        if sim_results is None:
             table.add(rate, rho)
             continue
-        sim_config = scaled_sim_config(sim_base.with_rate(rate), scale)
-        results = run_replications(sim_config, n_seeds=sim_seeds(scale))
-        usable = [r.root_writer_utilization for r in results
+        usable = [r.root_writer_utilization for r in sim_results[index]
                   if not r.overflowed and not math.isnan(
                       r.root_writer_utilization)]
         sim_rho = sum(usable) / len(usable) if usable else math.inf
@@ -229,18 +229,21 @@ def fig12(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
     rates = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
     analyzers = (analyze_lock_coupling, analyze_optimistic, analyze_link)
     algorithms = ("naive-lock-coupling", "optimistic-descent", "link-type")
-    for rate in rates:
+    sim_means = None
+    if simulate:
+        sim_means = [sweep_simulated_responses(_sim_base(algorithm), rates,
+                                               scale)
+                     for algorithm in algorithms]
+    for index, rate in enumerate(rates):
         row = [rate]
         for analyzer in analyzers:
             value = analyzer(config, rate).response("insert")
             row.append(math.inf if math.isinf(value) else round(value, 3))
-        if simulate:
-            for algorithm in algorithms:
-                means = simulated_response(_sim_base(algorithm), rate,
-                                           "insert", scale)
-                value = means["insert"]
+        if sim_means is not None:
+            for per_rate in sim_means:
+                means = per_rate[index]
                 row.append(math.inf if means["_overflow_fraction"] == 1.0
-                           else round(value, 3))
+                           else round(means["insert"], 3))
         table.add(*row)
     table.note("Link-type > Optimistic Descent > Naive Lock-coupling, "
                "each by a wide margin (paper Section 5.3)")
@@ -315,20 +318,26 @@ def _recovery_figure(experiment_id: str, figure: str, order: int,
         experiment_id,
         f"Recovery comparison, Optimistic Descent insert response, N={order}",
         figure, columns)
-    for rate in rates:
+    sim_means = None
+    if simulate:
+        sim_means = [
+            sweep_simulated_responses(
+                _sim_base("optimistic-descent", order=order,
+                          costs=CostModel(disk_cost=10.0),
+                          recovery=recovery, t_trans=100.0),
+                rates, scale)
+            for recovery in ("no-recovery", "leaf-only-recovery",
+                             "naive-recovery")]
+    for index, rate in enumerate(rates):
         row = [rate]
         for policy in (NO_RECOVERY, LEAF_ONLY_RECOVERY, NAIVE_RECOVERY):
             prediction = analyze_optimistic_with_recovery(
                 config, rate, policy=policy, t_trans=100.0)
             value = prediction.response("insert")
             row.append(math.inf if math.isinf(value) else round(value, 3))
-        if simulate:
-            for recovery in ("no-recovery", "leaf-only-recovery",
-                             "naive-recovery"):
-                base = _sim_base("optimistic-descent", order=order,
-                                 costs=CostModel(disk_cost=10.0),
-                                 recovery=recovery, t_trans=100.0)
-                means = simulated_response(base, rate, "insert", scale)
+        if sim_means is not None:
+            for per_rate in sim_means:
+                means = per_rate[index]
                 row.append(math.inf if means["_overflow_fraction"] == 1.0
                            else round(means["insert"], 3))
         table.add(*row)

@@ -3,8 +3,16 @@
 Usage::
 
     btree-perf list
-    btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv]
-    btree-perf all [--scale 0.1]
+    btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv] [--jobs 4]
+    btree-perf all [--scale 0.1] [--jobs 4]
+
+Simulation runs are memoized in an on-disk cache (``$REPRO_CACHE_DIR``
+or ``~/.cache/repro``), so re-running an experiment at the same scale
+reuses every already-computed point; ``--no-cache`` disables the cache
+and ``--clear-cache`` empties it first.  ``--jobs N`` fans a sweep's
+independent simulation runs out over ``N`` worker processes (the
+default, 1, is serial); results are bit-identical either way.  See
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.report import format_table, to_csv
+from repro.parallel import ResultCache, execution
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +54,13 @@ def _common_run_flags(sub: argparse.ArgumentParser) -> None:
                      help="emit CSV instead of an aligned table")
     sub.add_argument("--plot", action="store_true",
                      help="also render the series as an ASCII chart")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for independent simulation "
+                          "runs (default 1: serial; results identical)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk simulation result cache")
+    sub.add_argument("--clear-cache", action="store_true",
+                     help="empty the simulation result cache first")
 
 
 def _emit(table, as_csv: bool, plot: bool = False) -> None:
@@ -82,16 +98,20 @@ def _dispatch(args) -> int:
             sys.stdout.write(format_claims(results))
             return 0 if all(r.holds for r in results) else 1
         simulate: Optional[bool] = False if args.no_sim else None
-        if args.command == "run":
-            experiment = get_experiment(args.experiment_id)
-            _emit(experiment.run(scale=args.scale, simulate=simulate),
-                  args.csv, args.plot)
+        if args.clear_cache:
+            ResultCache().clear()
+        cache = None if args.no_cache else ResultCache()
+        with execution(jobs=args.jobs, cache=cache):
+            if args.command == "run":
+                experiment = get_experiment(args.experiment_id)
+                _emit(experiment.run(scale=args.scale, simulate=simulate),
+                      args.csv, args.plot)
+                return 0
+            # "all"
+            for experiment in EXPERIMENTS.values():
+                _emit(experiment.run(scale=args.scale, simulate=simulate),
+                      args.csv, args.plot)
             return 0
-        # "all"
-        for experiment in EXPERIMENTS.values():
-            _emit(experiment.run(scale=args.scale, simulate=simulate),
-                  args.csv, args.plot)
-        return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -16,6 +16,7 @@ from repro.btree import build_tree, collect_statistics
 from repro.model.occupancy import OccupancyModel
 from repro.model.params import ModelConfig, TreeShape
 from repro.model.results import AlgorithmPrediction
+from repro.parallel import replication_tasks, run_batch
 from repro.simulator.config import SimulationConfig
 from repro.simulator.driver import pooled_response_means, run_replications
 from repro.simulator.metrics import SimulationResult
@@ -103,12 +104,15 @@ def compare_prediction_to_simulation(
         model_config: Optional[ModelConfig] = None,
         n_seeds: int = 2,
         occupancy: Optional[OccupancyModel] = None,
+        jobs: Optional[int] = None,
         **analyzer_kwargs) -> ValidationReport:
     """Run the analyzer and the simulator at ``sim_config``'s operating
     point and tabulate per-operation agreement.
 
     ``model_config`` defaults to :func:`measured_model_config` (shape
-    measured from an identically-built tree).
+    measured from an identically-built tree).  ``jobs`` fans the
+    replication seeds out over worker processes (see
+    :mod:`repro.parallel`); results are identical to serial execution.
     """
     config = model_config if model_config is not None \
         else measured_model_config(sim_config)
@@ -116,7 +120,13 @@ def compare_prediction_to_simulation(
         analyzer_kwargs["occupancy"] = occupancy
     prediction = analyzer(config, sim_config.arrival_rate,
                           **analyzer_kwargs)
-    results = run_replications(sim_config, n_seeds=n_seeds)
+    results = run_replications(sim_config, n_seeds=n_seeds, jobs=jobs)
+    return _report(sim_config, prediction, results)
+
+
+def _report(sim_config: SimulationConfig,
+            prediction: AlgorithmPrediction,
+            results: List[SimulationResult]) -> ValidationReport:
     means = pooled_response_means(results)
     rows = [ComparisonRow(op, prediction.response(op), means[op])
             for op in OPERATIONS]
@@ -129,12 +139,23 @@ def compare_prediction_to_simulation(
 
 def sweep_agreement(analyzer: Analyzer, sim_config: SimulationConfig,
                     rates: Sequence[float], n_seeds: int = 2,
+                    jobs: Optional[int] = None,
                     ) -> Dict[float, ValidationReport]:
-    """Validate several operating points, reusing one measured shape."""
+    """Validate several operating points, reusing one measured shape.
+
+    The whole ``(rate, seed)`` grid is submitted as one batch through
+    :func:`repro.parallel.run_batch`, so with ``jobs=N`` (or an ambient
+    parallel execution context) every point's replications overlap.
+    """
     config = measured_model_config(sim_config)
-    return {
-        rate: compare_prediction_to_simulation(
-            analyzer, sim_config.with_rate(rate),
-            model_config=config, n_seeds=n_seeds)
-        for rate in rates
-    }
+    tasks = []
+    for rate in rates:
+        tasks.extend(replication_tasks(sim_config.with_rate(rate), n_seeds))
+    flat = run_batch(tasks, jobs=jobs)
+    reports: Dict[float, ValidationReport] = {}
+    for index, rate in enumerate(rates):
+        point = sim_config.with_rate(rate)
+        prediction = analyzer(config, rate)
+        results = flat[index * n_seeds:(index + 1) * n_seeds]
+        reports[rate] = _report(point, prediction, results)
+    return reports

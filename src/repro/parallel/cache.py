@@ -1,0 +1,194 @@
+"""On-disk memoization of completed simulation runs.
+
+``run_simulation(config)`` is a pure function of its
+:class:`~repro.simulator.config.SimulationConfig` (every RNG stream is
+derived from ``config.seed``), so its :class:`SimulationResult` can be
+memoized on disk and reused across processes and invocations.  A cache
+entry is keyed by a stable content hash of the full configuration plus:
+
+* a *kind* tag ("open" or "closed" — the two simulator entry points),
+* any extra run parameters outside the config (the closed system's
+  multiprogramming level and think time),
+* a **code-version salt** (:data:`CODE_SALT`), bumped whenever a change
+  to the simulator alters results, which atomically invalidates every
+  stale entry.
+
+Layout on disk (see ``docs/performance.md``)::
+
+    <cache dir>/
+        <key[:2]>/<key>.pkl     # pickled SimulationResult
+
+where ``<cache dir>`` is ``$REPRO_CACHE_DIR`` when set, else
+``$XDG_CACHE_HOME/repro`` (default ``~/.cache/repro``).  Entries are
+written atomically (temp file + rename) so a crashed run never leaves a
+torn pickle; unreadable entries are treated as misses, deleted, and
+recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.metrics import SimulationResult
+
+#: Code-version salt folded into every cache key.  Bump it whenever a
+#: simulator change alters results for the same configuration; every
+#: previously cached entry then misses and is recomputed.
+CODE_SALT = "sim-v1"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a config value to JSON-serializable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {name: _canonical(v)
+                  for name, v in (
+                      (f.name, getattr(value, f.name))
+                      for f in dataclasses.fields(value))}
+        return {"__type__": type(value).__name__, **fields}
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} "
+                    f"for cache keying: {value!r}")
+
+
+def config_key(config: SimulationConfig, *, kind: str = "open",
+               extra: Optional[dict] = None,
+               salt: str = CODE_SALT) -> str:
+    """Stable content hash identifying one simulation run.
+
+    The same configuration always hashes to the same key, across
+    processes and Python invocations (no reliance on ``hash()`` or
+    pickle byte stability); changing ``salt`` changes every key.
+    """
+    payload = {
+        "salt": salt,
+        "kind": kind,
+        "extra": _canonical(extra or {}),
+        "config": _canonical(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries that existed but could not be read (corrupt/truncated);
+    #: they are deleted and counted as misses too.
+    errors: int = 0
+
+
+class ResultCache:
+    """Directory-backed store of pickled :class:`SimulationResult`\\ s."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 salt: str = CODE_SALT) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.salt = salt
+        self.stats = CacheStats()
+
+    def key_for(self, config: SimulationConfig, *, kind: str = "open",
+                extra: Optional[dict] = None) -> str:
+        return config_key(config, kind=kind, extra=extra, salt=self.salt)
+
+    def path_for(self, key: str) -> Path:
+        # Two-character fan-out keeps any one directory small even for
+        # very large sweep grids.
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None on a miss.
+
+        A corrupt or unreadable entry is removed and reported as a miss
+        (the caller recomputes and overwrites it).
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(result, SimulationResult):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` atomically (tmp + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*/*.pkl"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for bucket in self.directory.iterdir():
+                if bucket.is_dir():
+                    shutil.rmtree(bucket, ignore_errors=True)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({str(self.directory)!r}, salt={self.salt!r}, "
+                f"stats={self.stats})")

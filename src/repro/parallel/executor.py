@@ -1,0 +1,149 @@
+"""Fan-out execution of independent simulation runs.
+
+A figure sweep is a grid of independent ``(config, seed)`` points —
+``run_simulation`` shares no state between runs and derives every RNG
+stream from ``config.seed`` — so the grid can execute in any order, on
+any number of worker processes, and still produce bit-identical
+:class:`~repro.simulator.metrics.SimulationResult`\\ s.  :func:`run_batch`
+is the single choke point all sweeps go through:
+
+1. look every task up in the (optional) on-disk result cache;
+2. run the misses — inline when serial, else on a
+   ``ProcessPoolExecutor`` via the top-level picklable :func:`execute_task`;
+3. store fresh results back and return them **in task order**.
+
+Determinism contract: for a fixed task list, the returned list is
+identical whatever ``jobs`` is and whatever mixture of cache hits and
+recomputes served it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.parallel.cache import ResultCache
+from repro.parallel.context import resolve_cache, resolve_jobs
+from repro.simulator.config import SimulationConfig
+from repro.simulator.metrics import SimulationResult
+
+#: Task kinds understood by :func:`execute_task`.
+KIND_OPEN = "open"
+KIND_CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One schedulable simulation run.
+
+    ``kind`` selects the simulator entry point: "open" (Poisson
+    arrivals, the paper's setting) or "closed" (fixed multiprogramming
+    level ``mpl``, optional exponential ``think_time``).
+    """
+
+    config: SimulationConfig
+    kind: str = KIND_OPEN
+    mpl: Optional[int] = None
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_OPEN, KIND_CLOSED):
+            raise ConfigurationError(
+                f"unknown task kind {self.kind!r}; expected "
+                f"{KIND_OPEN!r} or {KIND_CLOSED!r}")
+        if self.kind == KIND_CLOSED and (self.mpl is None or self.mpl < 1):
+            raise ConfigurationError(
+                f"closed tasks need a multiprogramming level >= 1, "
+                f"got {self.mpl!r}")
+
+    def cache_key(self, cache: ResultCache) -> str:
+        extra = {} if self.kind == KIND_OPEN else \
+            {"mpl": self.mpl, "think_time": self.think_time}
+        return cache.key_for(self.config, kind=self.kind, extra=extra)
+
+
+def replication_tasks(config: SimulationConfig,
+                      n_seeds: int) -> List[SimTask]:
+    """The paper's replication scheme: seeds ``seed .. seed+n_seeds-1``."""
+    return [SimTask(config.with_seed(config.seed + offset))
+            for offset in range(n_seeds)]
+
+
+def execute_task(task: SimTask) -> SimulationResult:
+    """Run one task to completion (top-level, hence picklable: this is
+    the function worker processes import and call)."""
+    # Imported here, not at module top, to keep the worker import light
+    # and to avoid a cycle (driver -> parallel -> driver).
+    if task.kind == KIND_CLOSED:
+        from repro.simulator.closed import run_closed_simulation
+        return run_closed_simulation(task.config, task.mpl,
+                                     think_time=task.think_time)
+    from repro.simulator.driver import run_simulation
+    return run_simulation(task.config)
+
+
+def run_batch(tasks: Sequence[SimTask],
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[SimulationResult], None]] = None,
+              ) -> List[SimulationResult]:
+    """Execute ``tasks`` and return their results in task order.
+
+    ``jobs``/``cache`` default to the ambient
+    :class:`~repro.parallel.context.ExecutionContext` (serial, no
+    cache).  ``jobs <= 1`` runs everything inline in this process —
+    byte-for-byte today's serial behavior; ``jobs > 1`` fans cache
+    misses out over that many worker processes.  ``progress`` is called
+    once per result; in parallel mode the call order follows completion
+    order, not task order.
+    """
+    tasks = list(tasks)
+    n_jobs = resolve_jobs(jobs)
+    cache = resolve_cache(cache)
+
+    results: List[Optional[SimulationResult]] = [None] * len(tasks)
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * len(tasks)
+
+    if cache is not None:
+        for index, task in enumerate(tasks):
+            key = task.cache_key(cache)
+            keys[index] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                if progress is not None:
+                    progress(hit)
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(tasks)))
+
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    def record(index: int, result: SimulationResult) -> None:
+        results[index] = result
+        if cache is not None:
+            cache.put(keys[index], result)
+        if progress is not None:
+            progress(result)
+
+    if n_jobs <= 1 or len(pending) == 1:
+        for index in pending:
+            record(index, execute_task(tasks[index]))
+        return results  # type: ignore[return-value]
+
+    workers = min(n_jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(execute_task, tasks[index]): index
+                   for index in pending}
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding,
+                                     return_when=FIRST_COMPLETED)
+            for future in done:
+                record(futures[future], future.result())
+    return results  # type: ignore[return-value]

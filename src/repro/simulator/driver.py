@@ -15,13 +15,17 @@
    population exceeds the allocation, the paper's saturation signal.
 
 ``run_replications`` repeats a configuration over several seeds (the
-paper uses 5) and returns the per-seed results.
+paper uses 5) and returns the per-seed results; with ``jobs=N`` the
+seeds run on a process pool, and with a cache installed (see
+:mod:`repro.parallel`) previously computed runs are reused — both
+bit-identical to serial recomputation.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.btree.builder import build_tree
 from repro.btree.node import Node
@@ -49,6 +53,9 @@ from repro.simulator.operations import (
     pick_resident_key,
 )
 from repro.workloads.keyspace import HotspotKeys, KeyPicker, UniformKeys
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.cache import ResultCache
 
 _ALGORITHM_MODULES = {
     "naive-lock-coupling": naive_ops,
@@ -158,9 +165,9 @@ def run_simulation(config: SimulationConfig,
                   on_done=on_operation_done)
 
     def arrivals():
-        mean_gap = 1.0 / config.arrival_rate
+        rate = config.arrival_rate
         while True:
-            yield Hold(rng_arrivals.expovariate(1.0 / mean_gap))
+            yield Hold(rng_arrivals.expovariate(rate))
             spawn_operation()
 
     def root_sampler():
@@ -213,23 +220,28 @@ def _draw_operation(config: SimulationConfig, rng: random.Random) -> str:
 
 def run_replications(config: SimulationConfig,
                      n_seeds: int = 5,
-                     progress: Callable[[SimulationResult], None] = None,
+                     progress: Optional[Callable[[SimulationResult], None]]
+                     = None,
+                     jobs: Optional[int] = None,
+                     cache: Optional["ResultCache"] = None,
                      ) -> List[SimulationResult]:
-    """Run ``config`` under ``n_seeds`` different seeds (paper: 5)."""
-    results = []
-    for offset in range(n_seeds):
-        result = run_simulation(config.with_seed(config.seed + offset))
-        results.append(result)
-        if progress is not None:
-            progress(result)
-    return results
+    """Run ``config`` under ``n_seeds`` different seeds (paper: 5).
+
+    ``jobs``/``cache`` default to the ambient execution context (see
+    :mod:`repro.parallel`): serial, uncached.  ``jobs=N`` runs the
+    seeds on ``N`` worker processes; results are returned in seed
+    order and are bit-identical to the serial path.  ``progress`` is
+    called once per completed result (completion order when parallel).
+    """
+    from repro.parallel import replication_tasks, run_batch
+    return run_batch(replication_tasks(config, n_seeds),
+                     jobs=jobs, cache=cache, progress=progress)
 
 
 def pooled_response_means(results: Sequence[SimulationResult]
                           ) -> Dict[str, float]:
     """Average each operation's mean response over non-overflowed runs;
     +inf when every replication overflowed (saturated setting)."""
-    import math
     usable = [r for r in results if not r.overflowed]
     if not usable:
         return {OP_SEARCH: math.inf, OP_INSERT: math.inf,

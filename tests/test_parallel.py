@@ -1,0 +1,268 @@
+"""Tests for the parallel sweep execution layer (repro.parallel)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    ResultCache,
+    SimTask,
+    config_key,
+    current_context,
+    execution,
+    replication_tasks,
+    run_batch,
+)
+from repro.simulator.config import SimulationConfig
+from repro.simulator.driver import (
+    pooled_response_means,
+    run_replications,
+    run_simulation,
+)
+
+
+def _quick(**overrides) -> SimulationConfig:
+    defaults = dict(algorithm="naive-lock-coupling", arrival_rate=0.15,
+                    n_items=2_000, n_operations=150, warmup_operations=20,
+                    seed=7)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel == serial, bit for bit
+# ----------------------------------------------------------------------
+class TestParallelDeterminism:
+
+    def test_parallel_results_identical_to_serial(self):
+        config = _quick()
+        serial = run_replications(config, n_seeds=4, jobs=1)
+        parallel = run_replications(config, n_seeds=4, jobs=4)
+        assert parallel == serial  # full SimulationResult equality
+        assert pooled_response_means(parallel) == \
+            pooled_response_means(serial)
+        for s, p in zip(serial, parallel):
+            assert p.mean_lock_waits == s.mean_lock_waits
+            assert p.seed == s.seed
+
+    def test_batch_preserves_task_order(self):
+        configs = [_quick(seed=seed) for seed in (3, 1, 2)]
+        results = run_batch([SimTask(c) for c in configs], jobs=3)
+        assert [r.seed for r in results] == [3, 1, 2]
+
+    def test_closed_task_matches_direct_call(self):
+        from repro.simulator.closed import run_closed_simulation
+        config = _quick(n_operations=100)
+        task = SimTask(config, kind="closed", mpl=5)
+        [via_batch] = run_batch([task], jobs=1)
+        # repr-level comparison: closed runs have arrival_rate=nan and
+        # nan != nan under dataclass equality.
+        assert repr(via_batch) == repr(run_closed_simulation(config, 5))
+
+    def test_closed_task_requires_mpl(self):
+        with pytest.raises(ConfigurationError):
+            SimTask(_quick(), kind="closed")
+        with pytest.raises(ConfigurationError):
+            SimTask(_quick(), kind="bogus")
+
+
+# ----------------------------------------------------------------------
+# Cache keying
+# ----------------------------------------------------------------------
+class TestConfigKey:
+
+    def test_stable_and_sensitive(self):
+        config = _quick()
+        assert config_key(config) == config_key(_quick())
+        assert config_key(config) != config_key(_quick(seed=8))
+        assert config_key(config) != config_key(
+            _quick(arrival_rate=0.2))
+        assert config_key(config) != config_key(config, kind="closed",
+                                                extra={"mpl": 5})
+
+    def test_salt_change_busts_every_key(self):
+        config = _quick()
+        assert config_key(config, salt="sim-v1") != \
+            config_key(config, salt="sim-v2")
+
+
+# ----------------------------------------------------------------------
+# Cache behavior: hit / miss / invalidation / corruption
+# ----------------------------------------------------------------------
+class TestResultCache:
+
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _quick()
+        first = run_batch(replication_tasks(config, 2), cache=cache)
+        assert cache.stats.misses == 2
+        assert cache.stats.stores == 2
+        assert cache.stats.hits == 0
+
+        second = run_batch(replication_tasks(config, 2), cache=cache)
+        assert cache.stats.hits == 2
+        assert cache.stats.stores == 2  # nothing recomputed
+        assert second == first
+
+    def test_hits_survive_a_fresh_cache_instance(self, tmp_path):
+        config = _quick()
+        first = run_replications(config, n_seeds=2,
+                                 cache=ResultCache(tmp_path))
+        reopened = ResultCache(tmp_path)
+        second = run_replications(config, n_seeds=2, cache=reopened)
+        assert reopened.stats.hits == 2
+        assert reopened.stats.misses == 0
+        assert second == first
+
+    def test_salt_change_invalidates_entries(self, tmp_path):
+        config = _quick()
+        run_replications(config, n_seeds=1, cache=ResultCache(tmp_path))
+        bumped = ResultCache(tmp_path, salt="sim-v2-test")
+        run_replications(config, n_seeds=1, cache=bumped)
+        assert bumped.stats.hits == 0
+        assert bumped.stats.misses == 1
+        assert bumped.stats.stores == 1
+
+    def test_corrupt_entry_recovers_by_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _quick()
+        [expected] = run_batch([SimTask(config)], cache=cache)
+        key = SimTask(config).cache_key(cache)
+        cache.path_for(key).write_bytes(b"\x00not a pickle")
+
+        fresh = ResultCache(tmp_path)
+        [recovered] = run_batch([SimTask(config)], cache=fresh)
+        assert recovered == expected
+        assert fresh.stats.errors == 1
+        assert fresh.stats.misses == 1
+        assert fresh.stats.stores == 1
+        # The overwritten entry is readable again.
+        assert ResultCache(tmp_path).get(key) == expected
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_quick())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get(key) is None
+        assert cache.stats.errors == 1
+
+    def test_clear_empties_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_replications(_quick(), n_seeds=2, cache=cache)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+        rerun = ResultCache(tmp_path)
+        run_replications(_quick(), n_seeds=2, cache=rerun)
+        assert rerun.stats.hits == 0
+
+
+# ----------------------------------------------------------------------
+# Execution context
+# ----------------------------------------------------------------------
+class TestExecutionContext:
+
+    def test_default_is_serial_uncached(self):
+        context = current_context()
+        assert not context.parallel
+        assert context.cache is None
+
+    def test_nested_contexts_inherit_and_restore(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with execution(jobs=4, cache=cache):
+            assert current_context().parallel
+            with execution(jobs=1):
+                inner = current_context()
+                assert not inner.parallel
+                assert inner.cache is cache  # inherited
+            assert current_context().jobs == 4
+        assert current_context().cache is None
+
+    def test_batch_picks_up_ambient_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with execution(cache=cache):
+            run_batch([SimTask(_quick())])
+            run_batch([SimTask(_quick())])
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with execution(jobs=-1):
+                pass  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# The figure pipeline end to end (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestFigurePipeline:
+
+    def test_second_figure_run_is_all_cache_hits(self, tmp_path):
+        # Stand-in for "btree-perf run fig09 --scale ... twice": the
+        # second regeneration must be served entirely from the cache.
+        from repro.experiments.registry import get_experiment
+        experiment = get_experiment("ext05")
+        cache = ResultCache(tmp_path)
+        with execution(cache=cache):
+            first = experiment.run(scale=0.01)
+        computed = cache.stats.stores
+        assert computed > 0
+        assert cache.stats.hits == 0
+
+        with execution(cache=cache):
+            second = experiment.run(scale=0.01)
+        assert cache.stats.hits == computed  # every point reused
+        assert cache.stats.stores == computed  # nothing recomputed
+        assert second.rows == first.rows
+
+    def test_sweep_helpers_match_pointwise_calls(self):
+        from repro.experiments.common import (
+            simulated_response,
+            sweep_simulated_responses,
+        )
+        base = _quick()
+        rates = (0.1, 0.2)
+        swept = sweep_simulated_responses(base, rates, scale=0.01)
+        pointwise = [simulated_response(base, rate, "insert", scale=0.01)
+                     for rate in rates]
+        assert swept == pointwise
+
+    def test_cli_cache_flags(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.runner import main as cli_main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["run", "ext05", "--scale", "0.01", "--jobs", "2"]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        entries = list(tmp_path.glob("*/*.pkl"))
+        assert entries  # the CLI populated the cache
+
+        assert cli_main(argv) == 0  # second run: served from cache
+        assert capsys.readouterr().out == first
+
+        assert cli_main(argv + ["--clear-cache", "--no-cache"]) == 0
+        assert capsys.readouterr().out == first
+        assert not list(tmp_path.glob("*/*.pkl"))  # cleared, not refilled
+
+
+# ----------------------------------------------------------------------
+# Worker entry point
+# ----------------------------------------------------------------------
+class TestExecuteTask:
+
+    def test_execute_task_is_picklable_and_pure(self):
+        from repro.parallel import execute_task
+        task = SimTask(_quick())
+        clone = pickle.loads(pickle.dumps(task))
+        assert execute_task(clone) == run_simulation(_quick())
+
+    def test_config_pickle_preserves_merge_policy_identity(self):
+        # Regression: configs cross process boundaries, and both the
+        # tree and SimulationConfig compare merge policies by identity
+        # (a worker used to raise BTreeError on the first emptied leaf).
+        from repro.btree.policies import MERGE_AT_EMPTY
+        clone = pickle.loads(pickle.dumps(_quick()))
+        assert clone.merge_policy is MERGE_AT_EMPTY
