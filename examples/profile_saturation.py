@@ -12,7 +12,7 @@ Run:  python examples/profile_saturation.py
 import random
 
 from repro.btree.builder import build_tree
-from repro.des import Acquire, Hold, READ, RWLock, Simulator, TraceLog
+from repro.des import RWLock, Simulator, TraceLog
 from repro.model.params import CostModel
 from repro.simulator import SimulationConfig, run_simulation
 from repro.simulator.costs import ServiceTimeSampler

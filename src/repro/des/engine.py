@@ -40,7 +40,7 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, trace=None) -> None:
+    def __init__(self, trace=None, instruments=None) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Action]] = []
         self._sequence: int = 0
@@ -50,6 +50,12 @@ class Simulator:
         #: Optional :class:`~repro.des.trace.TraceLog` recording every
         #: lifecycle/lock/hold event the kernel executes.
         self.trace = trace
+        #: Optional :class:`~repro.obs.instruments.Instrumentation`
+        #: registry.  When None (the default) the event loop runs the
+        #: instrument-free fast path — disabled telemetry costs nothing
+        #: per event; when set, :meth:`run` counts executed events under
+        #: ``des.events`` and :meth:`spawn` under ``des.spawned``.
+        self.instruments = instruments
 
     # ------------------------------------------------------------------
     # Clock and bookkeeping
@@ -95,6 +101,8 @@ class Simulator:
         process.on_done = on_done
         self._active += 1
         self._total_spawned += 1
+        if self.instruments is not None:
+            self.instruments.counter("des.spawned").inc()
 
         def start() -> None:
             process.started_at = self._now
@@ -132,6 +140,8 @@ class Simulator:
 
         Returns the simulation time at which the run stopped.
         """
+        if self.instruments is not None:
+            return self._run_instrumented(until, stop_when)
         self._stopped = False
         # Local bindings: this loop executes once per event and the
         # attribute/global lookups are measurable at sweep scale.
@@ -144,6 +154,32 @@ class Simulator:
                 return self._now
             heappop(heap)
             self._now = time
+            action()
+            if self._stopped or (stop_when is not None and stop_when()):
+                return self._now
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def _run_instrumented(self, until: Optional[float],
+                          stop_when: Optional[Callable[[], bool]]) -> float:
+        """The :meth:`run` loop with the ``des.events`` counter live.
+
+        A separate loop (rather than an ``if`` per event) so that runs
+        without instrumentation keep the untouched fast path.
+        """
+        events = self.instruments.counter("des.events")
+        self._stopped = False
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            time, _seq, action = heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heappop(heap)
+            self._now = time
+            events.inc()
             action()
             if self._stopped or (stop_when is not None and stop_when()):
                 return self._now

@@ -36,10 +36,19 @@ class RWLock:
         Optional object with an ``on_wait(mode, wait)`` method, called on
         every grant with the request's queueing delay.  The concurrent
         B-tree simulator installs a per-level metrics collector here.
+
+    The :attr:`telemetry` slot (normally None) may hold any object with
+    integer ``held_read`` / ``held_write`` / ``queued`` /
+    ``grants_read`` / ``grants_write`` attributes — in practice a
+    :class:`~repro.obs.sampler.LevelState` shared by every lock of one
+    tree level.  The lock keeps those live counts current so a periodic
+    sampler can read per-level queue depth and R/W utilization without
+    walking the tree.  With telemetry off the cost is a single
+    attribute load + ``is None`` test per lock event.
     """
 
     __slots__ = (
-        "name", "observer", "_readers", "_writer", "_queue",
+        "name", "observer", "telemetry", "_readers", "_writer", "_queue",
         "_last_change", "time_writer_held", "time_writer_present",
         "time_held_any", "grants_read", "grants_write",
     )
@@ -47,6 +56,7 @@ class RWLock:
     def __init__(self, name: str = "", observer=None) -> None:
         self.name = name
         self.observer = observer
+        self.telemetry = None
         self._readers: Set[Process] = set()
         self._writer: Optional[Process] = None
         self._queue: Deque[LockRequest] = deque()
@@ -115,15 +125,23 @@ class RWLock:
                 self.observer.on_wait(mode, 0.0)
             return True
         self._queue.append(LockRequest(process, mode, sim.now))
+        tel = self.telemetry
+        if tel is not None:
+            tel.queued += 1
         return False
 
     def release(self, sim: Simulator, process: Process) -> None:
         """Release ``process``'s hold and hand the lock to queued waiters."""
         self._advance_clocks(sim.now)
+        tel = self.telemetry
         if self._writer is process:
             self._writer = None
+            if tel is not None:
+                tel.held_write -= 1
         elif process in self._readers:
             self._readers.remove(process)
+            if tel is not None:
+                tel.held_read -= 1
         else:
             raise LockProtocolError(
                 f"{process.name} released lock {self.name!r} without holding it"
@@ -139,12 +157,19 @@ class RWLock:
         return self._writer is None and not self._readers
 
     def _admit(self, process: Process, mode: str) -> None:
+        tel = self.telemetry
         if mode == READ:
             self._readers.add(process)
             self.grants_read += 1
+            if tel is not None:
+                tel.held_read += 1
+                tel.grants_read += 1
         else:
             self._writer = process
             self.grants_write += 1
+            if tel is not None:
+                tel.held_write += 1
+                tel.grants_write += 1
 
     def _dispatch(self, sim: Simulator) -> None:
         """Grant the longest compatible prefix of the wait queue."""
@@ -153,6 +178,9 @@ class RWLock:
             if not self._compatible(head.mode):
                 break
             self._queue.popleft()
+            tel = self.telemetry
+            if tel is not None:
+                tel.queued -= 1
             self._admit(head.process, head.mode)
             head.granted_at = sim.now
             if self.observer is not None:

@@ -5,6 +5,8 @@ Usage::
     btree-perf list
     btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv] [--jobs 4]
     btree-perf all [--scale 0.1] [--jobs 4]
+    btree-perf simulate --algorithm link-type --rate 0.2 \\
+        --metrics-out run.ndjson --progress
 
 Simulation runs are memoized in an on-disk cache (``$REPRO_CACHE_DIR``
 or ``~/.cache/repro``), so re-running an experiment at the same scale
@@ -13,6 +15,10 @@ and ``--clear-cache`` empties it first.  ``--jobs N`` fans a sweep's
 independent simulation runs out over ``N`` worker processes (the
 default, 1, is serial); results are bit-identical either way.  See
 ``docs/performance.md``.
+
+``--progress`` streams one line per completed run to stderr;
+``simulate`` runs one configuration under full telemetry and
+``--metrics-out PATH`` exports it as NDJSON (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -42,6 +48,36 @@ def _build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment")
     _common_run_flags(everything)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run one simulator configuration with full telemetry")
+    from repro.simulator import ALGORITHMS
+    simulate.add_argument("--algorithm", default="link-type",
+                          choices=sorted(ALGORITHMS))
+    simulate.add_argument("--rate", type=float, default=0.2,
+                          help="Poisson arrival rate (default 0.2)")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="base random seed (default 0)")
+    simulate.add_argument("--seeds", type=int, default=1, metavar="N",
+                          help="replication seeds seed..seed+N-1 "
+                               "(default 1)")
+    simulate.add_argument("--scale", type=float, default=1.0,
+                          help="simulation effort scale (1.0 = paper "
+                               "scale)")
+    simulate.add_argument("--sample-interval", type=float, default=1.0,
+                          metavar="T",
+                          help="simulated time between telemetry samples "
+                               "(default 1.0)")
+    simulate.add_argument("--metrics-out", metavar="PATH",
+                          help="write the merged run telemetry to PATH "
+                               "as NDJSON")
+    simulate.add_argument("--progress", action="store_true",
+                          help="stream one line per completed run to "
+                               "stderr")
+    simulate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the replication "
+                               "seeds (default 1: serial)")
     return parser
 
 
@@ -61,6 +97,9 @@ def _common_run_flags(sub: argparse.ArgumentParser) -> None:
                      help="disable the on-disk simulation result cache")
     sub.add_argument("--clear-cache", action="store_true",
                      help="empty the simulation result cache first")
+    sub.add_argument("--progress", action="store_true",
+                     help="stream one line per completed simulation run "
+                          "to stderr")
 
 
 def _emit(table, as_csv: bool, plot: bool = False) -> None:
@@ -97,11 +136,17 @@ def _dispatch(args) -> int:
             results = evaluate_claims()
             sys.stdout.write(format_claims(results))
             return 0 if all(r.holds for r in results) else 1
+        if args.command == "simulate":
+            return _simulate(args)
         simulate: Optional[bool] = False if args.no_sim else None
         if args.clear_cache:
             ResultCache().clear()
         cache = None if args.no_cache else ResultCache()
-        with execution(jobs=args.jobs, cache=cache):
+        progress = None
+        if args.progress:
+            from repro.obs import ProgressPrinter
+            progress = ProgressPrinter()
+        with execution(jobs=args.jobs, cache=cache, progress=progress):
             if args.command == "run":
                 experiment = get_experiment(args.experiment_id)
                 _emit(experiment.run(scale=args.scale, simulate=simulate),
@@ -115,6 +160,39 @@ def _dispatch(args) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _simulate(args) -> int:
+    """The ``simulate`` subcommand: one config under full telemetry."""
+    from repro.experiments.common import scaled_sim_config
+    from repro.obs import (
+        ProgressPrinter,
+        TelemetryOptions,
+        collect_replications,
+        write_ndjson,
+    )
+    from repro.simulator.config import SimulationConfig
+
+    config = scaled_sim_config(
+        SimulationConfig(algorithm=args.algorithm,
+                         arrival_rate=args.rate, seed=args.seed),
+        args.scale)
+    options = TelemetryOptions(sample_interval=args.sample_interval)
+    progress = ProgressPrinter(total=args.seeds) if args.progress else None
+    results, merged = collect_replications(
+        config, n_seeds=args.seeds, options=options, jobs=args.jobs,
+        progress=progress)
+    if args.metrics_out:
+        write_ndjson(args.metrics_out, merged)
+        print(f"telemetry written to {args.metrics_out} "
+              f"(schema v{merged.schema}, {len(merged.runs)} run(s), "
+              f"{len(merged.runs[0].levels)} levels)")
+    for result in results:
+        status = ("OVERFLOW" if result.overflowed
+                  else f"throughput={result.throughput:.4g} "
+                       f"mean_response={result.overall_mean_response:.4g}")
+        print(f"seed={result.seed} {status}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,7 +43,8 @@ from repro.simulator.metrics import SimulationResult
 #: Code-version salt folded into every cache key.  Bump it whenever a
 #: simulator change alters results for the same configuration; every
 #: previously cached entry then misses and is recomputed.
-CODE_SALT = "sim-v1"
+#: sim-v2: percentile reservoir seeds now derive from the run seed.
+CODE_SALT = "sim-v2"
 
 
 def default_cache_dir() -> Path:

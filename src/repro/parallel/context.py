@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.errors import ConfigurationError
 from repro.parallel.cache import ResultCache
@@ -31,11 +31,16 @@ class ExecutionContext:
 
     ``jobs``: worker processes for independent runs; ``None``, 0 or 1
     all mean serial in-process execution.  ``cache``: on-disk result
-    cache, or ``None`` to always recompute.
+    cache, or ``None`` to always recompute.  ``progress``: callback
+    invoked with every completed
+    :class:`~repro.simulator.metrics.SimulationResult` (e.g. an
+    :class:`~repro.obs.progress.ProgressPrinter`), or ``None`` for
+    silent runs.
     """
 
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
+    progress: Optional[Callable] = None
 
     @property
     def parallel(self) -> bool:
@@ -53,6 +58,7 @@ def current_context() -> ExecutionContext:
 @contextmanager
 def execution(jobs: Optional[int] = _UNSET,
               cache: Optional[ResultCache] = _UNSET,
+              progress: Optional[Callable] = _UNSET,
               ) -> Iterator[ExecutionContext]:
     """Install an execution context for the enclosed block.
 
@@ -63,6 +69,7 @@ def execution(jobs: Optional[int] = _UNSET,
     context = ExecutionContext(
         jobs=outer.jobs if jobs is _UNSET else jobs,
         cache=outer.cache if cache is _UNSET else cache,
+        progress=outer.progress if progress is _UNSET else progress,
     )
     if context.jobs is not None and context.jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {context.jobs}")
@@ -91,3 +98,9 @@ def resolve_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
     inner ``execution(cache=None)`` block.
     """
     return cache if cache is not None else current_context().cache
+
+
+def resolve_progress(progress: Optional[Callable]) -> Optional[Callable]:
+    """Effective progress callback: the argument, else the ambient
+    context's (``execution(progress=None)`` silences an outer one)."""
+    return progress if progress is not None else current_context().progress

@@ -21,13 +21,16 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.parallel.cache import ResultCache
-from repro.parallel.context import resolve_cache, resolve_jobs
+from repro.parallel.context import resolve_cache, resolve_jobs, resolve_progress
 from repro.simulator.config import SimulationConfig
 from repro.simulator.metrics import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import RunTelemetry, TelemetryOptions
 
 #: Task kinds understood by :func:`execute_task`.
 KIND_OPEN = "open"
@@ -41,12 +44,19 @@ class SimTask:
     ``kind`` selects the simulator entry point: "open" (Poisson
     arrivals, the paper's setting) or "closed" (fixed multiprogramming
     level ``mpl``, optional exponential ``think_time``).
+
+    ``telemetry`` (a picklable
+    :class:`~repro.obs.telemetry.TelemetryOptions`) asks the run to
+    also record full run telemetry.  Telemetry runs bypass the result
+    cache — the time series are the artifact, and a memoized result
+    has none — and are supported for open tasks only.
     """
 
     config: SimulationConfig
     kind: str = KIND_OPEN
     mpl: Optional[int] = None
     think_time: float = 0.0
+    telemetry: Optional["TelemetryOptions"] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_OPEN, KIND_CLOSED):
@@ -57,6 +67,9 @@ class SimTask:
             raise ConfigurationError(
                 f"closed tasks need a multiprogramming level >= 1, "
                 f"got {self.mpl!r}")
+        if self.telemetry is not None and self.kind != KIND_OPEN:
+            raise ConfigurationError(
+                "telemetry collection is supported for open tasks only")
 
     def cache_key(self, cache: ResultCache) -> str:
         extra = {} if self.kind == KIND_OPEN else \
@@ -71,9 +84,14 @@ def replication_tasks(config: SimulationConfig,
             for offset in range(n_seeds)]
 
 
-def execute_task(task: SimTask) -> SimulationResult:
+def execute_task(task: SimTask) -> Any:
     """Run one task to completion (top-level, hence picklable: this is
-    the function worker processes import and call)."""
+    the function worker processes import and call).
+
+    Returns the task's :class:`SimulationResult` — or, when the task
+    carries telemetry options, the full
+    :class:`~repro.obs.telemetry.RunTelemetry` (whose ``result`` field
+    is that same result)."""
     # Imported here, not at module top, to keep the worker import light
     # and to avoid a cycle (driver -> parallel -> driver).
     if task.kind == KIND_CLOSED:
@@ -81,6 +99,11 @@ def execute_task(task: SimTask) -> SimulationResult:
         return run_closed_simulation(task.config, task.mpl,
                                      think_time=task.think_time)
     from repro.simulator.driver import run_simulation
+    if task.telemetry is not None:
+        from repro.obs.telemetry import TelemetryRecorder
+        recorder = TelemetryRecorder(task.telemetry)
+        run_simulation(task.config, telemetry=recorder)
+        return recorder.telemetry
     return run_simulation(task.config)
 
 
@@ -88,20 +111,29 @@ def run_batch(tasks: Sequence[SimTask],
               jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               progress: Optional[Callable[[SimulationResult], None]] = None,
+              telemetry_sink: Optional[Callable[[int, "RunTelemetry"], None]]
+              = None,
               ) -> List[SimulationResult]:
     """Execute ``tasks`` and return their results in task order.
 
-    ``jobs``/``cache`` default to the ambient
+    ``jobs``/``cache``/``progress`` default to the ambient
     :class:`~repro.parallel.context.ExecutionContext` (serial, no
-    cache).  ``jobs <= 1`` runs everything inline in this process —
-    byte-for-byte today's serial behavior; ``jobs > 1`` fans cache
-    misses out over that many worker processes.  ``progress`` is called
-    once per result; in parallel mode the call order follows completion
-    order, not task order.
+    cache, silent).  ``jobs <= 1`` runs everything inline in this
+    process — byte-for-byte today's serial behavior; ``jobs > 1`` fans
+    cache misses out over that many worker processes.  ``progress`` is
+    called once per result; in parallel mode the call order follows
+    completion order, not task order.
+
+    Tasks carrying telemetry options always execute (never served from
+    or stored into the cache); their
+    :class:`~repro.obs.telemetry.RunTelemetry` is delivered through
+    ``telemetry_sink(task_index, telemetry)`` while the returned list
+    still holds plain results at every position.
     """
     tasks = list(tasks)
     n_jobs = resolve_jobs(jobs)
     cache = resolve_cache(cache)
+    progress = resolve_progress(progress)
 
     results: List[Optional[SimulationResult]] = [None] * len(tasks)
     pending: List[int] = []
@@ -109,6 +141,9 @@ def run_batch(tasks: Sequence[SimTask],
 
     if cache is not None:
         for index, task in enumerate(tasks):
+            if task.telemetry is not None:
+                pending.append(index)
+                continue
             key = task.cache_key(cache)
             keys[index] = key
             hit = cache.get(key)
@@ -124,10 +159,16 @@ def run_batch(tasks: Sequence[SimTask],
     if not pending:
         return results  # type: ignore[return-value]
 
-    def record(index: int, result: SimulationResult) -> None:
+    def record(index: int, outcome) -> None:
+        if tasks[index].telemetry is not None:
+            result = outcome.result
+            if telemetry_sink is not None:
+                telemetry_sink(index, outcome)
+        else:
+            result = outcome
+            if cache is not None:
+                cache.put(keys[index], result)
         results[index] = result
-        if cache is not None:
-            cache.put(keys[index], result)
         if progress is not None:
             progress(result)
 

@@ -70,7 +70,7 @@ def run_closed_simulation(config: SimulationConfig,
     rng_service = random.Random(seed_root.randrange(2 ** 63))
     rng_think = random.Random(seed_root.randrange(2 ** 63))
 
-    metrics = MetricsCollector()
+    metrics = MetricsCollector(seed=config.seed)
 
     def attach_lock(node: Node) -> None:
         node.lock = RWLock(name=f"n{node.node_id}",

@@ -95,13 +95,18 @@ class _RunState:
         self.overflowed = False
 
 
-def run_simulation(config: SimulationConfig,
-                   trace=None) -> SimulationResult:
+def run_simulation(config: SimulationConfig, trace=None,
+                   telemetry=None) -> SimulationResult:
     """Execute one simulator run and return its metrics summary.
 
     Pass a :class:`~repro.des.trace.TraceLog` as ``trace`` to record
     every lock/hold/lifecycle event of the run (bounded ring buffer;
-    see ``docs/simulator.md``).
+    see ``docs/simulator.md``).  Pass a
+    :class:`~repro.obs.telemetry.TelemetryRecorder` as ``telemetry`` to
+    additionally collect per-level time series, engine counters and a
+    response timer; the recorder's ``telemetry`` attribute holds the
+    finished :class:`~repro.obs.telemetry.RunTelemetry` afterwards
+    (``docs/observability.md``).
     """
     module = _ALGORITHM_MODULES.get(config.algorithm)
     if module is None:  # defensive: config validates too
@@ -113,11 +118,26 @@ def run_simulation(config: SimulationConfig,
     rng_keys = random.Random(seed_root.randrange(2 ** 63))
     rng_service = random.Random(seed_root.randrange(2 ** 63))
 
-    metrics = MetricsCollector()
+    metrics = MetricsCollector(seed=config.seed)
+    if telemetry is not None:
+        # Fold every measured response into a Timer instrument as well,
+        # so the exported counters carry the latency totals.
+        response_timer = telemetry.instruments.timer("sim.response")
+        record_response = metrics.record_response
+
+        def record_and_time(operation: str, elapsed: float) -> None:
+            record_response(operation, elapsed)
+            if metrics.measuring:
+                response_timer.observe(elapsed)
+
+        metrics.record_response = record_and_time
 
     def attach_lock(node: Node) -> None:
-        node.lock = RWLock(name=f"n{node.node_id}",
-                           observer=_GatedObserver(metrics, node.level))
+        lock = RWLock(name=f"n{node.node_id}",
+                      observer=_GatedObserver(metrics, node.level))
+        if telemetry is not None:
+            telemetry.watch(lock, node.level)
+        node.lock = lock
 
     tree = build_tree(
         config.n_items, order=config.order,
@@ -126,7 +146,9 @@ def run_simulation(config: SimulationConfig,
         rng=rng_build, on_new_node=attach_lock,
     )
 
-    sim = Simulator(trace=trace)
+    sim = Simulator(trace=trace,
+                    instruments=telemetry.instruments
+                    if telemetry is not None else None)
     sampler = ServiceTimeSampler(config.costs, tree, rng_service)
     ctx = OperationContext(sim, tree, sampler, metrics, rng_keys,
                            recovery=config.recovery, t_trans=config.t_trans)
@@ -180,6 +202,9 @@ def run_simulation(config: SimulationConfig,
 
     sim.spawn(arrivals(), name="arrivals")
     sim.spawn(root_sampler(), name="root-sampler")
+    if telemetry is not None:
+        sim.spawn(telemetry.sampler_process(sim, lambda: state.population),
+                  name="telemetry-sampler")
     if config.compaction_interval is not None:
         from repro.simulator.compaction import compactor
         sim.spawn(compactor(ctx, config.compaction_interval),
@@ -191,12 +216,15 @@ def run_simulation(config: SimulationConfig,
     sim.run(stop_when=done)
     metrics.measure_end_time = sim.now
 
-    return summarize(
+    result = summarize(
         metrics, algorithm=config.algorithm,
         arrival_rate=config.arrival_rate, seed=config.seed,
         overflowed=state.overflowed, tree_size=len(tree),
         tree_height=tree.height,
     )
+    if telemetry is not None:
+        telemetry.finalize(result)
+    return result
 
 
 def make_key_picker(config: SimulationConfig,

@@ -35,10 +35,26 @@ class LevelWaitObserver:
             self.write_waits.add(wait)
 
 
-class MetricsCollector:
-    """Mutable statistics gathered while the simulation runs."""
+def _reservoir_seed(run_seed: int, index: int) -> int:
+    """Derive a distinct, process-stable reservoir seed per operation
+    type from the run seed.
 
-    def __init__(self) -> None:
+    Two runs with different seeds must make different reservoir
+    sampling decisions (a fixed per-operation seed would tie every
+    config executed in one process to the same decisions); the
+    splitmix-style multiplier keeps consecutive run seeds decorrelated.
+    """
+    return (run_seed * 0x9E3779B97F4A7C15 + index + 1) % (2 ** 63)
+
+
+class MetricsCollector:
+    """Mutable statistics gathered while the simulation runs.
+
+    ``seed`` is the run seed; the percentile reservoirs derive their
+    sampling streams from it so replications sample independently.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
         #: Response-time accumulators keyed by "search"/"insert"/"delete".
         self.response: Dict[str, RunningStats] = {
             "search": RunningStats(),
@@ -47,7 +63,7 @@ class MetricsCollector:
         }
         #: Reservoir samples for latency percentiles, per operation type.
         self.response_samples: Dict[str, ReservoirSample] = {
-            name: ReservoirSample(seed=i)
+            name: ReservoirSample(seed=_reservoir_seed(seed, i))
             for i, name in enumerate(("search", "insert", "delete"))
         }
         #: Lock-wait observers keyed by level (created on demand).

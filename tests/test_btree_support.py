@@ -1,8 +1,5 @@
 """Unit tests for policies, builder, statistics and the validator."""
 
-import math
-import random
-
 import pytest
 
 from repro.btree import (

@@ -1,8 +1,5 @@
 """Unit tests for the service-time distributions."""
 
-import math
-import random
-
 import pytest
 
 from repro.des.distributions import (

@@ -1,7 +1,6 @@
 """Unit tests for the statistics collectors."""
 
 import math
-import random
 
 import numpy as np
 import pytest

@@ -5,7 +5,6 @@ checkable statements.  Each test here is one claim, referenced to the
 section making it.  EXPERIMENTS.md records the measured values.
 """
 
-import math
 
 import pytest
 

@@ -1,7 +1,5 @@
 """Unit tests for the Optimistic Descent and Link-type analyses."""
 
-import math
-
 import pytest
 
 from repro.errors import ConfigurationError
@@ -9,7 +7,6 @@ from repro.model.link import analyze_link, link_crossing_probability
 from repro.model.lock_coupling import analyze_lock_coupling
 from repro.model.occupancy import OccupancyModel
 from repro.model.optimistic import analyze_optimistic
-from repro.model.params import OperationMix, paper_default_config
 
 
 class TestOptimistic:

@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import ConfigurationError
 from repro.model.link import analyze_link
 from repro.model.lock_coupling import analyze_lock_coupling
 from repro.model.optimistic import analyze_optimistic

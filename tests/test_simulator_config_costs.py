@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.btree import BPlusTree, MERGE_AT_HALF, build_tree
+from repro.btree import MERGE_AT_HALF, build_tree
 from repro.errors import ConfigurationError
 from repro.model.params import CostModel
 from repro.simulator.config import SimulationConfig

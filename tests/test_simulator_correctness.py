@@ -6,7 +6,6 @@ the run)."""
 import pytest
 
 from repro.btree.validate import check_invariants
-from repro.simulator import SimulationConfig
 from repro.simulator.driver import (
     _ALGORITHM_MODULES,
     run_simulation,

@@ -9,8 +9,6 @@ answer anyway.
 
 import random
 
-import pytest
-
 from repro.btree import BPlusTree, check_invariants
 from repro.btree.node import Node
 from repro.des.engine import Simulator

@@ -1,6 +1,5 @@
 """Unit tests for the workloads subpackage."""
 
-import random
 from collections import Counter
 
 import pytest
