@@ -1,0 +1,206 @@
+"""The pre-optimization DES kernel, preserved as a benchmark baseline.
+
+This is a faithful, self-contained copy of the hot path of
+``repro.des`` as it stood before the allocation-free kernel overhaul
+(see ``docs/performance.md``, "Kernel hot path"):
+
+* ``Hold`` / ``Acquire`` / ``Release`` are frozen dataclasses allocated
+  per yield;
+* the step loop dispatches through an ``isinstance`` chain;
+* every scheduled event is a zero-argument closure (``resume`` allocates
+  a lambda per lock wakeup);
+* ``RWLock.writer_waiting`` scans the wait queue, and the clock advance
+  calls it on every request/release.
+
+``benchmarks/bench_kernel.py`` runs the same pure lock-contention
+workload through this kernel and through ``repro.des`` and records both
+events/sec numbers in ``BENCH_kernel.json``, so the speedup is measured
+on the same machine at the same moment rather than against a stale
+number.  Nothing outside the benchmark imports this module.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Hold:
+    duration: float
+
+
+@dataclass(frozen=True)
+class Acquire:
+    lock: "LegacyRWLock"
+    mode: str
+
+
+@dataclass(frozen=True)
+class Release:
+    lock: "LegacyRWLock"
+
+
+READ = "R"
+WRITE = "W"
+
+
+class LegacyProcess:
+    __slots__ = ("generator", "done")
+
+    def __init__(self, generator):
+        self.generator = generator
+        self.done = False
+
+
+@dataclass
+class LegacyLockRequest:
+    process: LegacyProcess
+    mode: str
+    requested_at: float
+    granted_at: float = None  # type: ignore[assignment]
+
+    @property
+    def wait(self):
+        return self.granted_at - self.requested_at
+
+
+class LegacySimulator:
+    """The seed kernel's event loop: closure events, isinstance dispatch."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap = []
+        self._sequence = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    @property
+    def events_executed(self):
+        """Events scheduled == events executed once the heap drains."""
+        return self._sequence
+
+    def schedule(self, delay, action):
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, action))
+
+    def spawn(self, generator):
+        process = LegacyProcess(generator)
+        self.schedule(0.0, lambda: self._step(process, None))
+        return process
+
+    def resume(self, process, value=None, delay=0.0):
+        self.schedule(delay, lambda: self._step(process, value))
+
+    def run(self):
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            time, _seq, action = heappop(heap)
+            self._now = time
+            action()
+        return self._now
+
+    def _step(self, process, send_value):
+        send = process.generator.send
+        while True:
+            try:
+                command = send(send_value)
+            except StopIteration:
+                process.done = True
+                return
+            if isinstance(command, Hold):
+                if command.duration == 0.0:
+                    send_value = None
+                    continue
+                self.resume(process, None, delay=command.duration)
+                return
+            if isinstance(command, Release):
+                command.lock.release(self, process)
+                send_value = None
+                continue
+            if isinstance(command, Acquire):
+                granted = command.lock.request(self, process, command.mode)
+                if granted:
+                    send_value = 0.0
+                    continue
+                return
+            raise RuntimeError(f"unsupported command {command!r}")
+
+
+class LegacyRWLock:
+    """The seed FCFS R/W lock: queue-scan writer_waiting on every clock
+    advance, per-request dataclass allocations."""
+
+    __slots__ = ("_readers", "_writer", "_queue", "_last_change",
+                 "time_writer_held", "time_writer_present", "time_held_any",
+                 "grants_read", "grants_write")
+
+    def __init__(self):
+        self._readers = set()
+        self._writer = None
+        self._queue = deque()
+        self._last_change = 0.0
+        self.time_writer_held = 0.0
+        self.time_writer_present = 0.0
+        self.time_held_any = 0.0
+        self.grants_read = 0
+        self.grants_write = 0
+
+    def writer_waiting(self):
+        return any(req.mode == WRITE for req in self._queue)
+
+    def _compatible(self, mode):
+        if mode == READ:
+            return self._writer is None
+        return self._writer is None and not self._readers
+
+    def _admit(self, process, mode):
+        if mode == READ:
+            self._readers.add(process)
+            self.grants_read += 1
+        else:
+            self._writer = process
+            self.grants_write += 1
+
+    def request(self, sim, process, mode):
+        self._advance_clocks(sim.now)
+        if not self._queue and self._compatible(mode):
+            self._admit(process, mode)
+            return True
+        self._queue.append(LegacyLockRequest(process, mode, sim.now))
+        return False
+
+    def release(self, sim, process):
+        self._advance_clocks(sim.now)
+        if self._writer is process:
+            self._writer = None
+        else:
+            self._readers.remove(process)
+        self._dispatch(sim)
+
+    def _dispatch(self, sim):
+        while self._queue:
+            head = self._queue[0]
+            if not self._compatible(head.mode):
+                break
+            self._queue.popleft()
+            self._admit(head.process, head.mode)
+            head.granted_at = sim.now
+            sim.resume(head.process, head.wait)
+            if head.mode == WRITE:
+                break
+
+    def _advance_clocks(self, now):
+        dt = now - self._last_change
+        if dt > 0.0:
+            if self._writer is not None:
+                self.time_writer_held += dt
+            if self._writer is not None or self.writer_waiting():
+                self.time_writer_present += dt
+            if self._writer is not None or self._readers:
+                self.time_held_any += dt
+        self._last_change = now

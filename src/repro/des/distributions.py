@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_left
 from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -149,20 +150,24 @@ class Hyperexponential(Distribution):
         self._probs = [float(p) for p in probs]
         self._means = [float(m) for m in means]
         self._rng = rng if rng is not None else random.Random()
-        # Precompute the CDF for inverse-transform branch selection.
+        # Precompute the CDF for inverse-transform branch selection and
+        # the per-stage rates (1/mean computed once, not per sample).
         self._cdf = []
         acc = 0.0
         for p in self._probs:
             acc += p
             self._cdf.append(acc)
         self._cdf[-1] = 1.0
+        # Unreachable stages (p == 0) may carry any mean; rate 0.0 is a
+        # placeholder that bisect can never select (ties resolve left).
+        self._rates = [1.0 / m if m > 0 else 0.0 for m in self._means]
 
     def sample(self) -> float:
+        # bisect_left finds the first threshold >= u — the same stage the
+        # old linear walk selected, in O(log stages).  u < 1.0 == cdf[-1]
+        # guarantees the index is in range.
         u = self._rng.random()
-        for threshold, mean in zip(self._cdf, self._means):
-            if u <= threshold:
-                return self._rng.expovariate(1.0 / mean)
-        return self._rng.expovariate(1.0 / self._means[-1])  # pragma: no cover
+        return self._rng.expovariate(self._rates[bisect_left(self._cdf, u)])
 
     @property
     def mean(self) -> float:
@@ -181,6 +186,5 @@ def poisson_interarrivals(rate: float, rng: random.Random):
     """Yield an endless stream of Poisson-process inter-arrival times."""
     if rate <= 0:
         raise ConfigurationError(f"arrival rate must be positive, got {rate}")
-    mean = 1.0 / rate
     while True:
-        yield rng.expovariate(1.0 / mean)
+        yield rng.expovariate(rate)

@@ -1,16 +1,20 @@
 """The discrete-event simulation kernel.
 
 :class:`Simulator` owns the simulation clock and a binary-heap event list.
-Events are ``(time, sequence, action)`` triples where ``action`` is a
-zero-argument callable; the sequence number makes the ordering of
-simultaneous events deterministic (FIFO in scheduling order), which in turn
-makes whole simulation runs reproducible for a fixed random seed.
+Events are typed records ``(time, sequence, kind, a, b)`` interpreted
+inline by :meth:`Simulator.run` — a process start, a process resume
+carrying its send value, or a plain callable (the public
+:meth:`~Simulator.schedule` API).  The sequence number makes the ordering
+of simultaneous events deterministic (FIFO in scheduling order), which in
+turn makes whole simulation runs reproducible for a fixed random seed;
+because it is unique, heap comparisons never reach the payload fields.
 
 Processes (see :mod:`repro.des.process`) communicate with the kernel by
-yielding commands.  The kernel steps a process as far as it can without
-time passing — e.g. a lock acquired without contention is granted
-immediately within the same step — which keeps the event heap small and the
-simulator fast.
+yielding commands; the step loop dispatches on each command's integer
+``kind`` tag (with a bare ``float`` understood as an allocation-free
+Hold).  The kernel steps a process as far as it can without time passing
+— e.g. a lock acquired without contention is granted immediately within
+the same step — which keeps the event heap small and the simulator fast.
 """
 
 from __future__ import annotations
@@ -18,10 +22,28 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-from repro.des.process import Acquire, Hold, Process, Release
+from repro.des.process import (
+    KIND_ACQUIRE,
+    KIND_HOLD,
+    KIND_RELEASE,
+    Hold,
+    Process,
+)
 from repro.errors import ProcessError, SimulationError
 
 Action = Callable[[], None]
+
+#: Heap-record kinds (slot 2 of every event tuple).
+_EV_ACTION = 0   # a: zero-argument callable,   b: unused
+_EV_START = 1    # a: Process to start,         b: unused
+_EV_RESUME = 2   # a: Process to resume,        b: value to send
+
+#: One scheduled event.
+Event = Tuple[float, int, int, object, object]
+
+# The step loop dispatches on literal ints for speed; pin them to the
+# canonical constants so a drift in process.py cannot go unnoticed.
+assert (KIND_HOLD, KIND_ACQUIRE, KIND_RELEASE) == (0, 1, 2)
 
 
 class Simulator:
@@ -32,9 +54,9 @@ class Simulator:
         sim = Simulator()
 
         def customer(lock):
-            wait = yield Acquire(lock, WRITE)
-            yield Hold(1.0)
-            lock.release_current(sim)
+            wait = yield lock.acquire_write
+            yield 1.0                      # hold (bare-float shorthand)
+            yield lock.release_cmd
 
         sim.spawn(customer(lock))
         sim.run()
@@ -42,7 +64,7 @@ class Simulator:
 
     def __init__(self, trace=None, instruments=None) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Action]] = []
+        self._heap: List[Event] = []
         self._sequence: int = 0
         self._active: int = 0
         self._total_spawned: int = 0
@@ -83,7 +105,9 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, action))
+        heapq.heappush(self._heap,
+                       (self._now + delay, self._sequence, _EV_ACTION,
+                        action, None))
 
     def schedule_at(self, time: float, action: Action) -> None:
         """Run ``action`` at absolute simulation time ``time``."""
@@ -103,23 +127,26 @@ class Simulator:
         self._total_spawned += 1
         if self.instruments is not None:
             self.instruments.counter("des.spawned").inc()
-
-        def start() -> None:
-            process.started_at = self._now
-            if self.trace is not None:
-                self.trace.record(self._now, "spawn", process.pid,
-                                  process.name)
-            self._step(process, None)
-
-        self.schedule(delay, start)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self._now + delay, self._sequence, _EV_START,
+                        process, None))
         return process
 
     def resume(self, process: Process, value=None, delay: float = 0.0) -> None:
         """Schedule ``process`` to be resumed with ``value`` after ``delay``.
 
-        Used by synchronisation objects (locks) to wake waiters.
+        Used by synchronisation objects (locks) to wake waiters.  A typed
+        heap record — no closure is allocated.
         """
-        self.schedule(delay, lambda: self._step(process, value))
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self._now + delay, self._sequence, _EV_RESUME,
+                        process, value))
 
     # ------------------------------------------------------------------
     # Execution
@@ -147,14 +174,22 @@ class Simulator:
         # attribute/global lookups are measurable at sweep scale.
         heap = self._heap
         heappop = heapq.heappop
+        step = self._step
         while heap:
-            time, _seq, action = heap[0]
+            event = heap[0]
+            time = event[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
             heappop(heap)
             self._now = time
-            action()
+            kind = event[2]
+            if kind == _EV_RESUME:
+                step(event[3], event[4])
+            elif kind == _EV_START:
+                self._start(event[3])
+            else:
+                event[3]()
             if self._stopped or (stop_when is not None and stop_when()):
                 return self._now
         if until is not None:
@@ -172,15 +207,23 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         heappop = heapq.heappop
+        step = self._step
         while heap:
-            time, _seq, action = heap[0]
+            event = heap[0]
+            time = event[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
             heappop(heap)
             self._now = time
             events.inc()
-            action()
+            kind = event[2]
+            if kind == _EV_RESUME:
+                step(event[3], event[4])
+            elif kind == _EV_START:
+                self._start(event[3])
+            else:
+                event[3]()
             if self._stopped or (stop_when is not None and stop_when()):
                 return self._now
         if until is not None:
@@ -194,41 +237,83 @@ class Simulator:
     # ------------------------------------------------------------------
     # Process stepping
     # ------------------------------------------------------------------
+    def _start(self, process: Process) -> None:
+        """First step of a spawned process (the ``_EV_START`` record)."""
+        process.started_at = self._now
+        if self.trace is not None:
+            self.trace.record(self._now, "spawn", process.pid, process.name)
+        self._step(process, None)
+
     def _step(self, process: Process, send_value) -> None:
         """Advance ``process`` until it blocks, holds, or finishes."""
         if process.done:
             raise ProcessError(f"{process!r} resumed after completion")
-        if self.trace is None:
-            # Hot path: the trace check is hoisted out of the command
-            # loop entirely (tracing is off for every production sweep).
-            send = process.generator.send
-            while True:
-                try:
-                    command = send(send_value)
-                except StopIteration:
-                    self._finish(process)
+        if self.trace is not None:
+            self._step_traced(process, send_value)
+            return
+        # Hot path: the trace check is hoisted out of the command loop
+        # entirely (tracing is off for every production sweep), the heap
+        # push for holds is inlined, and commands dispatch on a bare
+        # float check plus one integer ``kind`` compare.
+        send = process.generator.send
+        heap = self._heap
+        heappush = heapq.heappush
+        now = self._now  # the clock cannot advance within a step
+        while True:
+            try:
+                command = send(send_value)
+            except StopIteration:
+                self._finish(process)
+                return
+            if command.__class__ is float:
+                if command > 0.0:
+                    self._sequence = seq = self._sequence + 1
+                    heappush(heap, (now + command, seq, _EV_RESUME,
+                                    process, None))
                     return
-                if isinstance(command, Hold):
-                    if command.duration == 0.0:
-                        send_value = None
-                        continue
-                    self.resume(process, None, delay=command.duration)
-                    return
-                if isinstance(command, Release):
-                    command.lock.release(self, process)
+                if command == 0.0:
                     send_value = None
                     continue
-                if isinstance(command, Acquire):
-                    granted = command.lock.request(self, process,
-                                                   command.mode)
-                    if granted:
-                        send_value = 0.0
-                        continue
-                    return  # the lock will resume us with the wait time
                 raise ProcessError(
-                    f"{process!r} yielded unsupported command {command!r}"
-                )
-        self._step_traced(process, send_value)
+                    f"{process!r} held for negative time {command!r}")
+            try:
+                kind = command.kind
+            except AttributeError:
+                self._step_other(process, command)  # int holds
+                return
+            if kind == 1:  # acquire
+                if command.lock.request(self, process, command.mode):
+                    send_value = 0.0
+                    continue
+                return  # the lock will resume us with the wait time
+            if kind == 2:  # release
+                command.lock.release(self, process)
+                send_value = None
+                continue
+            if kind == 0:  # Hold instance (validated non-negative)
+                duration = command.duration
+                if duration > 0.0:
+                    self._sequence = seq = self._sequence + 1
+                    heappush(heap, (now + duration, seq, _EV_RESUME,
+                                    process, None))
+                    return
+                send_value = None
+                continue
+            raise ProcessError(
+                f"{process!r} yielded unsupported command {command!r}"
+            )
+
+    def _step_other(self, process: Process, command) -> None:
+        """Slow-path commands: integer holds and protocol errors."""
+        if isinstance(command, (int, float)) and not isinstance(command, bool):
+            if command < 0:
+                raise ProcessError(
+                    f"{process!r} held for negative time {command!r}")
+            self.resume(process, None, delay=float(command))
+            return
+        raise ProcessError(
+            f"{process!r} yielded unsupported command {command!r}"
+        )
 
     def _step_traced(self, process: Process, send_value) -> None:
         """The :meth:`_step` loop with per-command trace records."""
@@ -245,7 +330,10 @@ class Simulator:
             except StopIteration:
                 self._finish(process)
                 return
-            if isinstance(command, Hold):
+            if command.__class__ is float:
+                command = Hold(command)
+            kind = getattr(command, "kind", None)
+            if kind == KIND_HOLD:
                 trace.record(self._now, "hold", process.pid,
                              process.name, f"{command.duration:.4f}")
                 if command.duration == 0.0:
@@ -253,13 +341,13 @@ class Simulator:
                     continue
                 self.resume(process, None, delay=command.duration)
                 return
-            if isinstance(command, Release):
+            if kind == KIND_RELEASE:
                 trace.record(self._now, "release", process.pid,
                              process.name, command.lock.name)
                 command.lock.release(self, process)
                 send_value = None
                 continue
-            if isinstance(command, Acquire):
+            if kind == KIND_ACQUIRE:
                 trace.record(self._now, "request", process.pid,
                              process.name,
                              f"{command.mode} {command.lock.name}")
@@ -275,6 +363,16 @@ class Simulator:
                     continue
                 process.pending_acquire = command
                 return  # the lock will resume us with the wait time
+            if isinstance(command, (int, float)) \
+                    and not isinstance(command, bool):
+                command = Hold(float(command))
+                trace.record(self._now, "hold", process.pid,
+                             process.name, f"{command.duration:.4f}")
+                if command.duration == 0.0:
+                    send_value = None
+                    continue
+                self.resume(process, None, delay=command.duration)
+                return
             raise ProcessError(
                 f"{process!r} yielded unsupported command {command!r}"
             )

@@ -12,7 +12,15 @@ Johnson's SIGMETRICS '90 paper):
 
 The lock keeps cheap per-lock accumulators of writer-held / writer-present
 time so the simulator can report the writer utilization :math:`\\rho_w`
-(paper Figure 10) without external instrumentation.
+(paper Figure 10) without external instrumentation.  A maintained
+queued-writer counter makes the writer-present check O(1) — the clock
+advance on every request/release never scans the wait queue.
+
+Each lock also interns one :class:`~repro.des.process.Acquire` per mode
+and one :class:`~repro.des.process.Release` (:attr:`acquire_read` /
+:attr:`acquire_write` / :attr:`release_cmd`); operation generators yield
+those cached instances so the steady-state command stream allocates
+nothing (see ``docs/performance.md``, "Kernel hot path").
 """
 
 from __future__ import annotations
@@ -21,7 +29,14 @@ from collections import deque
 from typing import Deque, Optional, Set
 
 from repro.des.engine import Simulator
-from repro.des.process import READ, WRITE, LockRequest, Process
+from repro.des.process import (
+    READ,
+    WRITE,
+    Acquire,
+    LockRequest,
+    Process,
+    Release,
+)
 from repro.errors import LockProtocolError
 
 
@@ -48,7 +63,8 @@ class RWLock:
     """
 
     __slots__ = (
-        "name", "observer", "telemetry", "_readers", "_writer", "_queue",
+        "name", "observer", "telemetry", "acquire_read", "acquire_write",
+        "release_cmd", "_readers", "_writer", "_queue", "_queued_writers",
         "_last_change", "time_writer_held", "time_writer_present",
         "time_held_any", "grants_read", "grants_write",
     )
@@ -57,9 +73,18 @@ class RWLock:
         self.name = name
         self.observer = observer
         self.telemetry = None
+        #: Interned commands — yield these instead of allocating
+        #: ``Acquire``/``Release`` objects per lock round trip.
+        self.acquire_read = Acquire(self, READ)
+        self.acquire_write = Acquire(self, WRITE)
+        self.release_cmd = Release(self)
         self._readers: Set[Process] = set()
         self._writer: Optional[Process] = None
         self._queue: Deque[LockRequest] = deque()
+        #: Number of W requests currently in :attr:`_queue`, maintained
+        #: on enqueue/dequeue so :meth:`writer_waiting` and the clock
+        #: advance are O(1).
+        self._queued_writers: int = 0
         # Time-weighted accumulators, advanced lazily on state changes.
         self._last_change: float = 0.0
         #: Total time a writer has held the lock.
@@ -99,8 +124,8 @@ class RWLock:
         return None
 
     def writer_waiting(self) -> bool:
-        """True if any W request is queued."""
-        return any(req.mode == WRITE for req in self._queue)
+        """True if any W request is queued (an O(1) counter read)."""
+        return self._queued_writers > 0
 
     # ------------------------------------------------------------------
     # Request / release protocol
@@ -113,18 +138,21 @@ class RWLock:
         and returns False.  Queued processes are resumed by ``release``
         with their queueing delay as the sent value.
         """
-        if self.holds(process) is not None:
+        if self._writer is process or process in self._readers:
             raise LockProtocolError(
                 f"{process.name} already holds lock {self.name!r}; "
                 "re-entrant locking is not part of the protocol"
             )
         self._advance_clocks(sim.now)
-        if not self._queue and self._compatible(mode):
+        if not self._queue and self._writer is None \
+                and (mode == READ or not self._readers):
             self._admit(process, mode)
             if self.observer is not None:
                 self.observer.on_wait(mode, 0.0)
             return True
         self._queue.append(LockRequest(process, mode, sim.now))
+        if mode == WRITE:
+            self._queued_writers += 1
         tel = self.telemetry
         if tel is not None:
             tel.queued += 1
@@ -173,20 +201,29 @@ class RWLock:
 
     def _dispatch(self, sim: Simulator) -> None:
         """Grant the longest compatible prefix of the wait queue."""
-        while self._queue:
-            head = self._queue[0]
-            if not self._compatible(head.mode):
+        queue = self._queue
+        if not queue:
+            return
+        tel = self.telemetry
+        observer = self.observer
+        now = sim.now
+        while queue:
+            head = queue[0]
+            mode = head.mode
+            if self._writer is not None or (mode == WRITE and self._readers):
                 break
-            self._queue.popleft()
-            tel = self.telemetry
+            queue.popleft()
+            if mode == WRITE:
+                self._queued_writers -= 1
             if tel is not None:
                 tel.queued -= 1
-            self._admit(head.process, head.mode)
-            head.granted_at = sim.now
-            if self.observer is not None:
-                self.observer.on_wait(head.mode, head.wait)
-            sim.resume(head.process, head.wait)
-            if head.mode == WRITE:
+            self._admit(head.process, mode)
+            head.granted_at = now
+            wait = now - head.requested_at
+            if observer is not None:
+                observer.on_wait(mode, wait)
+            sim.resume(head.process, wait)
+            if mode == WRITE:
                 # An exclusive grant blocks everything behind it.
                 break
 
@@ -195,10 +232,13 @@ class RWLock:
         if dt > 0.0:
             if self._writer is not None:
                 self.time_writer_held += dt
-            if self._writer is not None or self.writer_waiting():
                 self.time_writer_present += dt
-            if self._writer is not None or self._readers:
                 self.time_held_any += dt
+            else:
+                if self._queued_writers:
+                    self.time_writer_present += dt
+                if self._readers:
+                    self.time_held_any += dt
         self._last_change = now
 
     def finalize(self, now: float) -> None:

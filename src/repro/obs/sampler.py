@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Tuple
 
-from repro.des.process import Hold
 from repro.errors import ConfigurationError
 
 
@@ -129,8 +128,8 @@ class TelemetrySampler:
             self.interval *= 2.0
 
     def process(self, sim, in_flight: Callable[[], int],
-                events_counter) -> Iterator[Hold]:
+                events_counter) -> Iterator[float]:
         """The generator the driver spawns alongside the workload."""
         while True:
-            yield Hold(self.interval)
+            yield self.interval
             self.sample(sim.now, in_flight(), events_counter.value)

@@ -21,7 +21,6 @@ import random
 from repro.btree.builder import build_tree
 from repro.btree.node import Node
 from repro.des.engine import Simulator
-from repro.des.process import Hold
 from repro.des.rwlock import RWLock
 from repro.errors import ConfigurationError
 from repro.simulator.config import SimulationConfig
@@ -106,7 +105,7 @@ def run_closed_simulation(config: SimulationConfig,
     def terminal():
         while True:
             if think_time > 0.0:
-                yield Hold(rng_think.expovariate(1.0 / think_time))
+                yield rng_think.expovariate(1.0 / think_time)
             op_name, key = draw_operation()
             yield from getattr(module, op_name)(ctx, key)
             completions[0] += 1
@@ -120,7 +119,7 @@ def run_closed_simulation(config: SimulationConfig,
 
     def root_sampler():
         while True:
-            yield Hold(_ROOT_SAMPLE_INTERVAL)
+            yield _ROOT_SAMPLE_INTERVAL
             lock = tree.root.lock
             present = lock.writer is not None or lock.writer_waiting()
             metrics.record_root_sample(present,

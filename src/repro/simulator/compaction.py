@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Tuple
 
 from repro.btree.node import InternalNode, LeafNode, Node
-from repro.des.process import Acquire, Hold, Release, WRITE
 from repro.simulator.operations import OperationContext
 
 
@@ -38,8 +37,8 @@ def compactor(ctx: OperationContext, interval: float,
     """
     sweeps = 0
     while max_sweeps is None or sweeps < max_sweeps:
-        yield Hold(ctx.rng.expovariate(1.0 / interval)
-                   if interval > 0 else 0.0)
+        yield (ctx.rng.expovariate(1.0 / interval)
+               if interval > 0 else 0.0)
         yield from sweep_once(ctx)
         sweeps += 1
 
@@ -109,15 +108,15 @@ def _reclaim(ctx: OperationContext, leaf: LeafNode) -> Generator:
     if located is None:
         return False
     parent, left = located
-    yield Acquire(parent.lock, WRITE)
-    yield Hold(ctx.sampler.search(parent.level))
+    yield parent.lock.acquire_write
+    yield ctx.sampler.search(parent.level)
     if left is not None:
-        yield Acquire(left.lock, WRITE)
-    yield Acquire(leaf.lock, WRITE)
-    yield Hold(ctx.sampler.merge(1))
+        yield left.lock.acquire_write
+    yield leaf.lock.acquire_write
+    yield ctx.sampler.merge(1)
     removed = ctx.tree.splice_out_empty_leaf(leaf, parent, left)
-    yield Release(leaf.lock)
+    yield leaf.lock.release_cmd
     if left is not None:
-        yield Release(left.lock)
-    yield Release(parent.lock)
+        yield left.lock.release_cmd
+    yield parent.lock.release_cmd
     return removed

@@ -30,7 +30,6 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 from repro.btree.builder import build_tree
 from repro.btree.node import Node
 from repro.des.engine import Simulator
-from repro.des.process import Hold
 from repro.des.rwlock import RWLock
 from repro.errors import ConfigurationError
 from repro.simulator import link as link_ops
@@ -189,12 +188,12 @@ def run_simulation(config: SimulationConfig, trace=None,
     def arrivals():
         rate = config.arrival_rate
         while True:
-            yield Hold(rng_arrivals.expovariate(rate))
+            yield rng_arrivals.expovariate(rate)
             spawn_operation()
 
     def root_sampler():
         while True:
-            yield Hold(_ROOT_SAMPLE_INTERVAL)
+            yield _ROOT_SAMPLE_INTERVAL
             lock = tree.root.lock
             present = lock.writer is not None or lock.writer_waiting()
             metrics.record_root_sample(present,

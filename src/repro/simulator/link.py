@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from repro.btree.node import InternalNode, Node
-from repro.des.process import Acquire, Hold, READ, Release, WRITE
 from repro.simulator.operations import (
     OP_DELETE,
     OP_INSERT,
@@ -31,7 +30,7 @@ def search(ctx: OperationContext, key: int) -> Generator:
     started = ctx.sim.now
     leaf = yield from _read_descent(ctx, key, stack=None)
     leaf.contains(key)
-    yield Release(leaf.lock)
+    yield leaf.lock.release_cmd
     ctx.finish(OP_SEARCH, started)
 
 
@@ -40,10 +39,10 @@ def insert(ctx: OperationContext, key: int) -> Generator:
     stack: List[Node] = []
     target = yield from _read_descent(ctx, key, stack, stop_above_leaf=True)
     leaf = yield from _wlock_covering(ctx, target, key)
-    yield Hold(ctx.sampler.modify(1))
+    yield ctx.sampler.modify(1)
     ctx.tree.apply_leaf_insert(leaf, key)
     if not ctx.tree.overflowed(leaf):
-        yield Release(leaf.lock)
+        yield leaf.lock.release_cmd
         ctx.finish(OP_INSERT, started)
         return
     yield from _split_cascade(ctx, leaf, stack)
@@ -67,12 +66,12 @@ def scan(ctx: OperationContext, low: int, high: int,
             out.extend(k for k in node.keys if low <= k < high)
         done = node.high_key is None or node.high_key >= high
         successor = node.right
-        yield Release(node.lock)
+        yield node.lock.release_cmd
         if done or successor is None:
             break
         node = successor
-        yield Acquire(node.lock, READ)
-        yield Hold(ctx.sampler.search(1))
+        yield node.lock.acquire_read
+        yield ctx.sampler.search(1)
     ctx.finish(OP_SEARCH, started)
 
 
@@ -83,9 +82,9 @@ def delete(ctx: OperationContext, key: int) -> Generator:
     target = yield from _read_descent(ctx, key, stack=None,
                                       stop_above_leaf=True)
     leaf = yield from _wlock_covering(ctx, target, key)
-    yield Hold(ctx.sampler.modify(1))
+    yield ctx.sampler.modify(1)
     ctx.tree.apply_leaf_delete(leaf, key)
-    yield Release(leaf.lock)
+    yield leaf.lock.release_cmd
     ctx.finish(OP_DELETE, started)
 
 
@@ -107,11 +106,11 @@ def _read_descent(ctx: OperationContext, key: int,
         if node.is_leaf and stop_above_leaf:
             # Single-leaf tree or routed child: caller W-locks it.
             return node
-        yield Acquire(node.lock, READ)
-        yield Hold(ctx.sampler.search(node.level))
+        yield node.lock.acquire_read
+        yield ctx.sampler.search(node.level)
         if not node.covers(key):
             successor = node.right
-            yield Release(node.lock)
+            yield node.lock.release_cmd
             ctx.metrics.link_crossings += 1
             node = successor
             continue
@@ -119,7 +118,7 @@ def _read_descent(ctx: OperationContext, key: int,
             return node
         assert isinstance(node, InternalNode)
         child = node.child_for(key)
-        yield Release(node.lock)
+        yield node.lock.release_cmd
         if stack is not None:
             stack.append(node)
         node = child
@@ -129,14 +128,14 @@ def _wlock_covering(ctx: OperationContext, node: Node, key: int) -> Generator:
     """W-lock ``node``, chasing right links until the locked node covers
     ``key``.  Returns the locked node."""
     while True:
-        yield Acquire(node.lock, WRITE)
+        yield node.lock.acquire_write
         if node.covers(key):
             return node
         successor = node.right
-        yield Release(node.lock)
+        yield node.lock.release_cmd
         ctx.metrics.link_crossings += 1
         node = successor
-        yield Hold(ctx.sampler.search(node.level))
+        yield ctx.sampler.search(node.level)
 
 
 def _split_cascade(ctx: OperationContext, node: Node,
@@ -144,11 +143,11 @@ def _split_cascade(ctx: OperationContext, node: Node,
     """Half-split ``node`` (W-locked, overflowed) and post separators
     upward until a parent absorbs one without overflowing."""
     while True:
-        yield Hold(ctx.sampler.half_split(node.level))
+        yield ctx.sampler.half_split(node.level)
         sibling, separator = ctx.tree.half_split(node)
         ctx.metrics.splits += 1
         at_top = ctx.tree.root is node
-        yield Release(node.lock)
+        yield node.lock.release_cmd
         if at_top:
             # This block runs atomically (no yields), so the root pointer
             # swing cannot race with another grower: any earlier splitter
@@ -158,11 +157,11 @@ def _split_cascade(ctx: OperationContext, node: Node,
             return
         parent = yield from _locate_parent(ctx, node.level + 1, separator,
                                            stack)
-        yield Hold(ctx.sampler.parent_post(parent.level))
+        yield ctx.sampler.parent_post(parent.level)
         assert isinstance(parent, InternalNode)
         ctx.tree.complete_split(parent, separator, sibling)
         if not ctx.tree.overflowed(parent):
-            yield Release(parent.lock)
+            yield parent.lock.release_cmd
             return
         node = parent
 
@@ -183,17 +182,17 @@ def _locate_parent(ctx: OperationContext, level: int, separator: int,
     # Fresh partial descent from the current root down to `level`.
     node: Node = ctx.tree.root
     while node.level > level:
-        yield Acquire(node.lock, READ)
-        yield Hold(ctx.sampler.search(node.level))
+        yield node.lock.acquire_read
+        yield ctx.sampler.search(node.level)
         if not node.covers(separator):
             successor = node.right
-            yield Release(node.lock)
+            yield node.lock.release_cmd
             ctx.metrics.link_crossings += 1
             node = successor
             continue
         assert isinstance(node, InternalNode)
         child = node.child_for(separator)
-        yield Release(node.lock)
+        yield node.lock.release_cmd
         node = child
     parent = yield from _wlock_covering(ctx, node, separator)
     return parent

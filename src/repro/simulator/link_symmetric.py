@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.des.process import Hold, Release
 from repro.simulator import link as link_base
 from repro.simulator.compaction import _reclaim
 from repro.simulator.operations import (
@@ -45,10 +44,10 @@ def delete(ctx: OperationContext, key: int) -> Generator:
     target = yield from link_base._read_descent(ctx, key, stack=None,
                                                 stop_above_leaf=True)
     leaf = yield from link_base._wlock_covering(ctx, target, key)
-    yield Hold(ctx.sampler.modify(1))
+    yield ctx.sampler.modify(1)
     ctx.tree.apply_leaf_delete(leaf, key)
     emptied = (leaf.n_entries() == 0 and leaf is not ctx.tree.root)
-    yield Release(leaf.lock)
+    yield leaf.lock.release_cmd
     if emptied:
         removed = yield from _reclaim(ctx, leaf)
         if removed:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Generator, List
 
 from repro.btree.node import LeafNode, Node
-from repro.des.process import Acquire, Hold, Release, WRITE
+from repro.des.process import WRITE
 from repro.simulator.operations import (
     OP_DELETE,
     OP_INSERT,
@@ -28,10 +28,10 @@ def search(ctx: OperationContext, key: int) -> Generator:
     """R-lock-coupled membership search."""
     started = ctx.sim.now
     leaf = yield from coupled_read_descent(ctx, key, stop_level=1)
-    yield Hold(ctx.sampler.search(1))
+    yield ctx.sampler.search(1)
     assert isinstance(leaf, LeafNode)
     leaf.contains(key)
-    yield Release(leaf.lock)
+    yield leaf.lock.release_cmd
     ctx.finish(OP_SEARCH, started)
 
 
@@ -71,12 +71,12 @@ def _write_descent(ctx: OperationContext, key: int, for_insert: bool,
         locked: List[Node] = [node]
         restart = False
         while not node.is_leaf:
-            yield Hold(ctx.sampler.search(node.level))
+            yield ctx.sampler.search(node.level)
             child = node.child_for(key)
-            yield Acquire(child.lock, WRITE)
+            yield child.lock.acquire_write
             if child.dead:  # pragma: no cover - coupling pins children
                 yield from release_all(locked)
-                yield Release(child.lock)
+                yield child.lock.release_cmd
                 ctx.metrics.restarts += 1
                 restart = True
                 break
@@ -97,7 +97,7 @@ def _apply_insert(ctx: OperationContext, key: int,
     """Leaf modify plus the split cascade along the locked path."""
     leaf = locked[-1]
     assert isinstance(leaf, LeafNode)
-    yield Hold(ctx.sampler.modify(1))
+    yield ctx.sampler.modify(1)
     ctx.tree.apply_leaf_insert(leaf, key)
     if not ctx.tree.overflowed(leaf):
         return
@@ -108,7 +108,7 @@ def _apply_insert(ctx: OperationContext, key: int,
         entries = node.n_entries() + (1 if will_receive_router else 0)
         if entries <= ctx.tree.order:
             break
-        yield Hold(ctx.sampler.split(node.level))
+        yield ctx.sampler.split(node.level)
         will_receive_router = True
     ctx.metrics.splits += ctx.tree.split_path(locked)
 
@@ -118,7 +118,7 @@ def _apply_delete(ctx: OperationContext, key: int,
     """Leaf modify plus merge-at-empty removal along the locked path."""
     leaf = locked[-1]
     assert isinstance(leaf, LeafNode)
-    yield Hold(ctx.sampler.modify(1))
+    yield ctx.sampler.modify(1)
     ctx.tree.apply_leaf_delete(leaf, key)
     if leaf.n_entries() > 0 or leaf is ctx.tree.root:
         return
@@ -129,6 +129,6 @@ def _apply_delete(ctx: OperationContext, key: int,
         entries = node.n_entries() - (1 if removed_below else 0)
         if entries > 0:
             break
-        yield Hold(ctx.sampler.merge(node.level))
+        yield ctx.sampler.merge(node.level)
         removed_below = True
     ctx.metrics.leaf_removals += ctx.tree.remove_empty_leaf(locked)

@@ -2,9 +2,11 @@
 
 Each algorithm module exposes three generator factories — ``search``,
 ``insert``, ``delete`` — taking an :class:`OperationContext` and a key.
-The generators yield :class:`~repro.des.process.Hold` /
-:class:`~repro.des.process.Acquire` / :class:`~repro.des.process.Release`
-commands; code between yields executes atomically in simulated time, so
+The generators yield the allocation-free forms of the kernel commands: a
+bare ``float`` (hold that much simulated time) and the per-lock interned
+``lock.acquire_read`` / ``lock.acquire_write`` / ``lock.release_cmd``
+instances (see :mod:`repro.des.process`).  Code between yields executes
+atomically in simulated time, so
 structural tree changes made while holding the right locks are race-free
 by construction (the same property the paper's simulator relies on).
 
@@ -29,7 +31,7 @@ from typing import Generator, Optional
 from repro.btree.node import LeafNode, Node
 from repro.btree.tree import BPlusTree
 from repro.des.engine import Simulator
-from repro.des.process import Acquire, Hold, READ, Release
+from repro.des.process import READ
 from repro.simulator.costs import ServiceTimeSampler
 from repro.simulator.metrics import MetricsCollector
 
@@ -73,19 +75,21 @@ def acquire_valid_root(ctx: OperationContext, mode: str) -> Generator:
 
     Returns the locked root node (via generator return / ``yield from``).
     """
+    read = mode == READ
     while True:
         node = ctx.tree.root
-        yield Acquire(node.lock, mode)
+        lock = node.lock
+        yield lock.acquire_read if read else lock.acquire_write
         if node is ctx.tree.root and not node.dead:
             return node
-        yield Release(node.lock)
+        yield lock.release_cmd
         ctx.metrics.restarts += 1
 
 
 def release_all(locked) -> Generator:
     """Sub-generator: release every lock in ``locked`` (top-down order)."""
     for node in locked:
-        yield Release(node.lock)
+        yield node.lock.release_cmd
 
 
 def coupled_read_descent(ctx: OperationContext, key: int,
@@ -98,12 +102,12 @@ def coupled_read_descent(ctx: OperationContext, key: int,
     """
     node = yield from acquire_valid_root(ctx, READ)
     while node.level > stop_level:
-        yield Hold(ctx.sampler.search(node.level))
+        yield ctx.sampler.search(node.level)
         child = node.child_for(key)
-        yield Acquire(child.lock, READ)
-        yield Release(node.lock)
+        yield child.lock.acquire_read
+        yield node.lock.release_cmd
         if child.dead:  # pragma: no cover - pinned by coupling; root edge only
-            yield Release(child.lock)
+            yield child.lock.release_cmd
             ctx.metrics.restarts += 1
             node = yield from acquire_valid_root(ctx, READ)
             continue

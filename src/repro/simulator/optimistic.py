@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Generator, List
 
 from repro.btree.node import LeafNode, Node
-from repro.des.process import Acquire, Hold, Release, WRITE
 from repro.simulator import lock_coupling as naive
 from repro.simulator.operations import (
     OP_DELETE,
@@ -48,7 +47,7 @@ def _update(ctx: OperationContext, key: int, for_insert: bool) -> Generator:
         yield from _redo(ctx, key, for_insert, started, op_name)
         return
 
-    yield Hold(ctx.sampler.modify(1))
+    yield ctx.sampler.modify(1)
     if _leaf_safe(ctx, leaf, key, for_insert):
         if for_insert:
             ctx.tree.apply_leaf_insert(leaf, key)
@@ -58,7 +57,7 @@ def _update(ctx: OperationContext, key: int, for_insert: bool) -> Generator:
         return
 
     # Unsafe leaf: release everything and redo with W locks.
-    yield Release(leaf.lock)
+    yield leaf.lock.release_cmd
     ctx.metrics.redo_descents += 1
     yield from _redo(ctx, key, for_insert, started, op_name)
 
@@ -73,15 +72,15 @@ def _optimistic_leaf_lock(ctx: OperationContext, key: int) -> Generator:
         parent = yield from coupled_read_descent(ctx, key, stop_level=2)
         if parent.is_leaf:
             # The tree shrank under us; retry.
-            yield Release(parent.lock)
+            yield parent.lock.release_cmd
             ctx.metrics.restarts += 1
             continue
-        yield Hold(ctx.sampler.search(parent.level))
+        yield ctx.sampler.search(parent.level)
         leaf = parent.child_for(key)
-        yield Acquire(leaf.lock, WRITE)
-        yield Release(parent.lock)
+        yield leaf.lock.acquire_write
+        yield parent.lock.release_cmd
         if leaf.dead:  # pragma: no cover - coupling pins the child
-            yield Release(leaf.lock)
+            yield leaf.lock.release_cmd
             ctx.metrics.restarts += 1
             continue
         assert isinstance(leaf, LeafNode)
@@ -141,5 +140,5 @@ def _finish_with_retention(ctx: OperationContext, locked: List[Node],
     yield from release_all(released)
     ctx.finish(op_name, started)
     if retained:
-        yield Hold(ctx.sampler.transaction_remainder(ctx.t_trans))
+        yield ctx.sampler.transaction_remainder(ctx.t_trans)
         yield from release_all(retained)

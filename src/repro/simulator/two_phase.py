@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Generator, List
 
 from repro.btree.node import LeafNode, Node
-from repro.des.process import Acquire, Hold, READ, Release, WRITE
+from repro.des.process import READ, WRITE
 from repro.simulator import lock_coupling as naive
 from repro.simulator.operations import (
     OP_DELETE,
@@ -28,7 +28,7 @@ def search(ctx: OperationContext, key: int) -> Generator:
     """R-lock the whole path, search the leaf, then release everything."""
     started = ctx.sim.now
     locked = yield from _full_descent(ctx, key, READ)
-    yield Hold(ctx.sampler.search(1))
+    yield ctx.sampler.search(1)
     leaf = locked[-1]
     assert isinstance(leaf, LeafNode)
     leaf.contains(key)
@@ -55,17 +55,19 @@ def delete(ctx: OperationContext, key: int) -> Generator:
 def _full_descent(ctx: OperationContext, key: int,
                   mode: str) -> Generator:
     """Lock the whole root-to-leaf path in ``mode``, releasing nothing."""
+    read = mode == READ
     while True:
         node = yield from acquire_valid_root(ctx, mode)
         locked: List[Node] = [node]
         restart = False
         while not node.is_leaf:
-            yield Hold(ctx.sampler.search(node.level))
+            yield ctx.sampler.search(node.level)
             child = node.child_for(key)
-            yield Acquire(child.lock, mode)
+            lock = child.lock
+            yield lock.acquire_read if read else lock.acquire_write
             if child.dead:  # pragma: no cover - path fully locked
                 yield from release_all(locked)
-                yield Release(child.lock)
+                yield lock.release_cmd
                 ctx.metrics.restarts += 1
                 restart = True
                 break
