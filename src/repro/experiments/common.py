@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.algorithms import AlgorithmSpec
 from repro.model.params import ModelConfig
 from repro.model.results import AlgorithmPrediction
 from repro.parallel import SimTask, replication_tasks, run_batch
@@ -14,6 +15,19 @@ from repro.simulator.driver import pooled_response_means
 from repro.simulator.metrics import SimulationResult
 
 Analyzer = Callable[..., AlgorithmPrediction]
+
+
+def base_sim_config(spec: AlgorithmSpec | str, arrival_rate: float = 0.1,
+                    **overrides) -> SimulationConfig:
+    """Baseline simulator configuration for a registered algorithm.
+
+    Experiment drivers build their simulation points from registry
+    specs (or names) rather than hard-coded name literals, so the
+    registry stays the single dispatch point (``docs/architecture.md``).
+    """
+    name = spec if isinstance(spec, str) else spec.name
+    return SimulationConfig(algorithm=name, arrival_rate=arrival_rate,
+                            **overrides)
 
 
 @dataclass

@@ -16,43 +16,48 @@
 * ``ext05`` — access skew: an 80/20-style hotspot concentrates traffic
   on one subtree; the per-level thinning assumption (Proposition 2)
   weakens, hitting the lock-coupling algorithms hardest.
+* ``ext06`` — Optimistic Lock-coupling vs the paper's three algorithms:
+  the registry's extensibility proof — a variant added entirely as a
+  spec + ops module (see ``docs/architecture.md``) swept head-to-head.
+
+The comparison sets are derived from :mod:`repro.algorithms` (specs and
+capability flags), never from hard-coded name literals.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.algorithms import all_algorithms, get_algorithm, names
 from repro.errors import ConvergenceError
 from repro.experiments.common import (
     ExperimentTable,
+    base_sim_config,
     sweep_simulated_responses,
 )
 from repro.model import (
-    analyze_link,
-    analyze_lock_coupling,
-    analyze_optimistic,
-    analyze_two_phase,
     max_throughput,
     paper_default_config,
 )
 from repro.model.buffering import buffered_config, pages_for_top_levels
 from repro.model.params import OperationMix
 from repro.parallel import SimTask, run_batch
-from repro.simulator.config import SimulationConfig
 
-_ANALYZERS = (
-    ("two_phase", analyze_two_phase),
-    ("naive", analyze_lock_coupling),
-    ("optimistic", analyze_optimistic),
-    ("link", analyze_link),
-)
+_NAIVE = get_algorithm(names.NAIVE_LOCK_COUPLING)
+_OPTIMISTIC = get_algorithm(names.OPTIMISTIC_DESCENT)
+_LINK = get_algorithm(names.LINK_TYPE)
+_TWO_PHASE = get_algorithm(names.TWO_PHASE_LOCKING)
+_OLC = get_algorithm(names.OPTIMISTIC_LOCK_COUPLING)
+
+#: Specs with an analytical model, from strictest to most concurrent.
+_COMPARED = (_TWO_PHASE, _NAIVE, _OPTIMISTIC, _LINK)
 
 
 def ext01(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
     """Two-Phase Locking in the Figure 12 comparison."""
     config = paper_default_config()
-    columns = ["arrival_rate"] + [f"{name}_insert"
-                                  for name, _ in _ANALYZERS]
+    columns = ["arrival_rate"] + [f"{spec.short}_insert"
+                                  for spec in _COMPARED]
     if simulate:
         columns.append("sim_two_phase_insert")
     table = ExperimentTable(
@@ -62,20 +67,20 @@ def ext01(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
     rates = (0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.3, 1.0)
     sim_means = None
     if simulate:
-        base = SimulationConfig(algorithm="two-phase-locking")
+        base = base_sim_config(_TWO_PHASE)
         sim_means = sweep_simulated_responses(base, rates, scale)
     for index, rate in enumerate(rates):
         row = [rate]
-        for _name, analyzer in _ANALYZERS:
-            value = analyzer(config, rate).response("insert")
+        for spec in _COMPARED:
+            value = spec.analyze(config, rate).response("insert")
             row.append(math.inf if math.isinf(value) else round(value, 3))
         if sim_means is not None:
             means = sim_means[index]
             row.append(math.inf if means["_overflow_fraction"] == 1.0
                        else round(means["insert"], 3))
         table.add(*row)
-    peaks = {name: round(max_throughput(analyzer, config), 4)
-             for name, analyzer in _ANALYZERS}
+    peaks = {spec.short: round(max_throughput(spec.analyze, config), 4)
+             for spec in _COMPARED}
     table.note(f"maximum throughputs: {peaks} — strict 2PL costs an order "
                "of magnitude against even Naive Lock-coupling")
     return table
@@ -96,11 +101,10 @@ def ext02(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
                    6000.0):
         buffered = buffered_config(config, frames)
         try:
-            naive = round(max_throughput(analyze_lock_coupling,
-                                         buffered), 4)
+            naive = round(max_throughput(_NAIVE.analyze, buffered), 4)
         except ConvergenceError:  # pragma: no cover - bounded loads
             naive = math.inf
-        optimistic = round(max_throughput(analyze_optimistic, buffered), 4)
+        optimistic = round(max_throughput(_OPTIMISTIC.analyze, buffered), 4)
         table.add(frames, naive, optimistic)
     table.note(f"~{top2:.0f} frames cache the top two levels — the knee "
                "of the curve and the paper's fixed setting")
@@ -118,16 +122,16 @@ def ext03(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
         "ext03",
         "Maximum throughput vs search fraction q_s (updates split 5:2)",
         "Extension: operation-mix sensitivity",
-        ["q_search"] + [f"{name}_max_throughput"
-                        for name, _ in _ANALYZERS])
+        ["q_search"] + [f"{spec.short}_max_throughput"
+                        for spec in _COMPARED])
     for q_search in (0.05, 0.2, 0.3, 0.5, 0.7, 0.9, 0.95):
         q_insert = (1.0 - q_search) * 5.0 / 7.0
         mix = OperationMix(q_search=q_search, q_insert=q_insert,
                            q_delete=1.0 - q_search - q_insert)
         config = paper_default_config(mix=mix)
         row = [q_search]
-        for _name, analyzer in _ANALYZERS:
-            row.append(round(max_throughput(analyzer, config), 4))
+        for spec in _COMPARED:
+            row.append(round(max_throughput(spec.analyze, config), 4))
         table.add(*row)
     table.note("every algorithm is writer-bound, so capacity scales "
                "roughly with 1/(1-q_s); the ordering and relative "
@@ -137,8 +141,11 @@ def ext03(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
 
 #: Multiprogramming levels for the closed-system sweep.
 _MPL_LEVELS = (1, 2, 5, 10, 25, 50, 100)
-_CLOSED_ALGORITHMS = ("naive-lock-coupling", "optimistic-descent",
-                      "link-type")
+
+
+def _closed_specs():
+    """The algorithms with a closed-system mode, in registry order."""
+    return tuple(spec for spec in all_algorithms() if spec.supports_closed)
 
 
 def ext04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
@@ -146,50 +153,48 @@ def ext04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     interactive response-time-law prediction alongside the simulation."""
     from repro.model.closed import closed_system_prediction
     from repro.model.validation import measured_model_config
+    specs = _closed_specs()
     table = ExperimentTable(
         "ext04",
         "Closed-system throughput / search response vs multiprogramming "
         "level",
         "Extension: closed system (Section 1 scenario)",
-        ["mpl"] + [f"{name.split('-')[0]}_throughput"
-                   for name in _CLOSED_ALGORITHMS]
-                + [f"{name.split('-')[0]}_search_response"
-                   for name in _CLOSED_ALGORITHMS]
-                + ["naive_model_throughput"])
+        ["mpl"] + [f"{spec.short}_throughput" for spec in specs]
+                + [f"{spec.short}_search_response" for spec in specs]
+                + [f"{specs[0].short}_model_throughput"])
     del simulate  # inherently simulated
     n_ops = max(300, int(1_500 * scale))
 
-    def sim_config(algorithm: str, mpl: int) -> SimulationConfig:
+    def sim_config(spec, mpl: int):
         # The warm-up must let the closed system's backlog reach steady
         # state, which takes longer at higher populations; otherwise the
         # draining backlog inflates the measured throughput.
         warmup = max(50, n_ops // 10, 5 * mpl)
-        return SimulationConfig(
-            algorithm=algorithm, arrival_rate=1.0, n_items=8_000,
+        return base_sim_config(
+            spec, arrival_rate=1.0, n_items=8_000,
             n_operations=n_ops, warmup_operations=warmup, seed=17)
 
-    naive_model = measured_model_config(
-        sim_config(_CLOSED_ALGORITHMS[0], 1))
+    model_config = measured_model_config(sim_config(specs[0], 1))
     # The whole (mpl, algorithm) grid fans out as one batch of closed
     # tasks; run_batch preserves submission order.
-    tasks = [SimTask(sim_config(algorithm, mpl), kind="closed", mpl=mpl)
-             for mpl in _MPL_LEVELS for algorithm in _CLOSED_ALGORITHMS]
+    tasks = [SimTask(sim_config(spec, mpl), kind="closed", mpl=mpl)
+             for mpl in _MPL_LEVELS for spec in specs]
     flat = iter(run_batch(tasks))
     for mpl in _MPL_LEVELS:
         throughputs = []
         responses = []
-        for _algorithm in _CLOSED_ALGORITHMS:
+        for _spec in specs:
             result = next(flat)
             throughputs.append(round(result.throughput, 4))
             responses.append(round(result.mean_response["search"], 3))
-        predicted = closed_system_prediction(analyze_lock_coupling,
-                                             naive_model, mpl)
+        predicted = closed_system_prediction(specs[0].analyze,
+                                             model_config, mpl)
         table.add(mpl, *throughputs, *responses,
                   round(predicted.throughput, 4))
     table.note("naive lock-coupling plateaus once the root saturates "
                "(response then grows linearly with MPL); the link-type "
                "algorithm scales on toward the service limit")
-    table.note("naive_model_throughput is the interactive "
+    table.note(f"{specs[0].short}_model_throughput is the interactive "
                "response-time-law fixed point over the open analysis "
                "(repro.model.closed)")
     return table
@@ -198,37 +203,75 @@ def ext04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
 def ext05(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Simulated insert response vs hotspot skew (hot 20% of keys)."""
     del simulate  # inherently simulated
+    specs = (_NAIVE, _LINK)
     table = ExperimentTable(
         "ext05",
         "Insert response vs access skew (hot 20% of the key space)",
         "Extension: hotspot workload",
-        ["hot_probability", "naive_insert", "link_insert",
-         "naive_rho_root"])
+        ["hot_probability"] + [f"{spec.short}_insert" for spec in specs]
+                            + [f"{specs[0].short}_rho_root"])
     # The skew signal needs enough operations to resolve; keep a higher
     # floor than the other sweeps.
     n_ops = max(800, int(1_500 * scale))
     skews = (0.2, 0.5, 0.8, 0.95)
-    algorithms = ("naive-lock-coupling", "link-type")
     tasks = [
-        SimTask(SimulationConfig(
-            algorithm=algorithm, arrival_rate=0.35, n_items=8_000,
+        SimTask(base_sim_config(
+            spec, arrival_rate=0.35, n_items=8_000,
             n_operations=n_ops, warmup_operations=max(20, n_ops // 10),
             seed=23, key_distribution="hotspot",
             hot_fraction=0.2, hot_probability=hot_probability))
-        for hot_probability in skews for algorithm in algorithms]
+        for hot_probability in skews for spec in specs]
     flat = iter(run_batch(tasks))
     for hot_probability in skews:
         row = [hot_probability]
         rho = math.nan
-        for algorithm in algorithms:
+        for spec in specs:
             result = next(flat)
             row.append(math.inf if result.overflowed
                        else round(result.mean_response["insert"], 3))
-            if algorithm == "naive-lock-coupling":
+            if spec.coupling_updates:
+                # Root writer utilization is the telling statistic for
+                # algorithms whose updates W-couple from the root.
                 rho = round(result.root_writer_utilization, 4)
         row.append(rho)
         table.add(*row)
     table.note("hot_probability 0.2 over a 0.2 fraction is uniform; "
                "rising skew funnels descents through one subtree, "
                "raising lower-level contention under lock-coupling")
+    return table
+
+
+def ext06(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
+    """Optimistic Lock-coupling vs the paper's three core algorithms.
+
+    The head-to-head sweep for the registry's extensibility proof: the
+    hybrid variant ships entirely as a spec + ops module and is compared
+    here without any change to the core dispatch sites.
+    """
+    del simulate  # inherently simulated
+    specs = _closed_specs() + (_OLC,)
+    table = ExperimentTable(
+        "ext06",
+        "Insert response with Optimistic Lock-coupling in the comparison",
+        "Extension: optimistic lock-coupling variant",
+        ["arrival_rate"] + [f"{spec.short}_insert" for spec in specs])
+    rates = (0.05, 0.15, 0.3, 0.5)
+    n_ops = max(400, int(2_000 * scale))
+    tasks = [
+        SimTask(base_sim_config(
+            spec, arrival_rate=rate, n_items=8_000,
+            n_operations=n_ops,
+            warmup_operations=max(40, n_ops // 10), seed=11))
+        for rate in rates for spec in specs]
+    flat = iter(run_batch(tasks))
+    for rate in rates:
+        row = [rate]
+        for _spec in specs:
+            result = next(flat)
+            row.append(math.inf if result.overflowed
+                       else round(result.mean_response["insert"], 3))
+        table.add(*row)
+    table.note("the hybrid R-couples the upper levels and W-couples only "
+               "the bottom two, so it tracks optimistic descent at low "
+               "load without the full-restart penalty when leaves split")
     return table

@@ -19,13 +19,11 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
+from repro.algorithms import AlgorithmSpec, get_algorithm, names
 from repro.model import (
     LEAF_ONLY_RECOVERY,
     NAIVE_RECOVERY,
     NO_RECOVERY,
-    analyze_link,
-    analyze_lock_coupling,
-    analyze_optimistic,
     analyze_optimistic_with_recovery,
     arrival_rate_for_root_utilization,
     max_throughput,
@@ -40,11 +38,16 @@ from repro.model.params import CostModel, ModelConfig, TreeShape
 from repro.errors import ConvergenceError
 from repro.experiments.common import (
     ExperimentTable,
+    base_sim_config,
     response_sweep,
     sweep_replications,
     sweep_simulated_responses,
 )
-from repro.simulator.config import SimulationConfig
+
+#: The paper's three algorithms, resolved once through the registry.
+_NAIVE = get_algorithm(names.NAIVE_LOCK_COUPLING)
+_OPTIMISTIC = get_algorithm(names.OPTIMISTIC_DESCENT)
+_LINK = get_algorithm(names.LINK_TYPE)
 
 #: Arrival-rate grids spanning low load up to each algorithm's knee
 #: (computed from the analytical maximum throughputs at D=5).
@@ -54,21 +57,16 @@ LINK_RATES = (1.0, 2.0, 5.0, 10.0, 20.0, 30.0)
 NODE_SIZES = (7, 13, 21, 31, 43, 59, 81, 101)
 
 
-def _sim_base(algorithm: str, **overrides) -> SimulationConfig:
-    return SimulationConfig(algorithm=algorithm, arrival_rate=0.1,
-                            **overrides)
-
-
 def _response_figure(experiment_id: str, figure: str, title: str,
-                     algorithm: str, analyzer, rates: Sequence[float],
+                     spec: AlgorithmSpec, rates: Sequence[float],
                      operation: str, scale: float, simulate: bool,
                      ) -> ExperimentTable:
     columns = ["arrival_rate", f"model_{operation}_response"]
     if simulate:
         columns.append(f"sim_{operation}_response")
     table = ExperimentTable(experiment_id, title, figure, columns)
-    sim_base = _sim_base(algorithm) if simulate else None
-    response_sweep(table, rates, analyzer, paper_default_config(),
+    sim_base = base_sim_config(spec) if simulate else None
+    response_sweep(table, rates, spec.analyze, paper_default_config(),
                    operation, sim_base, scale)
     table.note("disk cost D=5, 2 in-memory levels, N=13, ~40k items, "
                "mix (.3,.5,.2)")
@@ -82,48 +80,42 @@ def fig03(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Naive Lock-coupling insert response time vs arrival rate."""
     return _response_figure("fig03", "Figure 3",
                             "Naive Lock-coupling insert response vs arrival rate",
-                            "naive-lock-coupling", analyze_lock_coupling,
-                            NAIVE_RATES, "insert", scale, simulate)
+                            _NAIVE, NAIVE_RATES, "insert", scale, simulate)
 
 
 def fig04(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Naive Lock-coupling search response time vs arrival rate."""
     return _response_figure("fig04", "Figure 4",
                             "Naive Lock-coupling search response vs arrival rate",
-                            "naive-lock-coupling", analyze_lock_coupling,
-                            NAIVE_RATES, "search", scale, simulate)
+                            _NAIVE, NAIVE_RATES, "search", scale, simulate)
 
 
 def fig05(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Optimistic Descent insert response time vs arrival rate."""
     return _response_figure("fig05", "Figure 5",
                             "Optimistic Descent insert response vs arrival rate",
-                            "optimistic-descent", analyze_optimistic,
-                            OPTIMISTIC_RATES, "insert", scale, simulate)
+                            _OPTIMISTIC, OPTIMISTIC_RATES, "insert", scale, simulate)
 
 
 def fig06(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Optimistic Descent search response time vs arrival rate."""
     return _response_figure("fig06", "Figure 6",
                             "Optimistic Descent search response vs arrival rate",
-                            "optimistic-descent", analyze_optimistic,
-                            OPTIMISTIC_RATES, "search", scale, simulate)
+                            _OPTIMISTIC, OPTIMISTIC_RATES, "search", scale, simulate)
 
 
 def fig07(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Link-type insert response time vs arrival rate."""
     return _response_figure("fig07", "Figure 7",
                             "Link-type insert response vs arrival rate",
-                            "link-type", analyze_link,
-                            LINK_RATES, "insert", scale, simulate)
+                            _LINK, LINK_RATES, "insert", scale, simulate)
 
 
 def fig08(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
     """Link-type search response time vs arrival rate."""
     return _response_figure("fig08", "Figure 8",
                             "Link-type search response vs arrival rate",
-                            "link-type", analyze_link,
-                            LINK_RATES, "search", scale, simulate)
+                            _LINK, LINK_RATES, "search", scale, simulate)
 
 
 # ----------------------------------------------------------------------
@@ -140,7 +132,7 @@ def fig09(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
         columns)
     sim_results = None
     if simulate:
-        sim_base = _sim_base("link-type", costs=CostModel(disk_cost=10.0))
+        sim_base = base_sim_config(_LINK, costs=CostModel(disk_cost=10.0))
         sim_results = sweep_replications(sim_base, LINK_RATES, scale)
     for index, rate in enumerate(LINK_RATES):
         model_per_1k = round(
@@ -172,10 +164,10 @@ def fig10(scale: float = 1.0, simulate: bool = True) -> ExperimentTable:
         "Figure 10", columns)
     sim_results = None
     if simulate:
-        sim_base = _sim_base("naive-lock-coupling")
+        sim_base = base_sim_config(_NAIVE)
         sim_results = sweep_replications(sim_base, NAIVE_RATES, scale)
     for index, rate in enumerate(NAIVE_RATES):
-        prediction = analyze_lock_coupling(config, rate)
+        prediction = _NAIVE.analyze(config, rate)
         rho = prediction.root_writer_utilization
         rho = math.inf if math.isinf(rho) else round(rho, 4)
         if sim_results is None:
@@ -206,7 +198,7 @@ def fig11(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
     for disk_cost in (1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0, 20.0):
         config = paper_default_config(disk_cost=disk_cost)
         table.add(disk_cost,
-                  round(max_throughput(analyze_lock_coupling, config), 4))
+                  round(max_throughput(_NAIVE.analyze, config), 4))
     table.note("locking nodes two levels below the root (the first "
                "on-disk level) dominates as D grows")
     return table
@@ -227,17 +219,16 @@ def fig12(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
         "fig12", "Comparison of insert response times (D=5)",
         "Figure 12", columns)
     rates = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
-    analyzers = (analyze_lock_coupling, analyze_optimistic, analyze_link)
-    algorithms = ("naive-lock-coupling", "optimistic-descent", "link-type")
+    specs = (_NAIVE, _OPTIMISTIC, _LINK)
     sim_means = None
     if simulate:
-        sim_means = [sweep_simulated_responses(_sim_base(algorithm), rates,
+        sim_means = [sweep_simulated_responses(base_sim_config(spec), rates,
                                                scale)
-                     for algorithm in algorithms]
+                     for spec in specs]
     for index, rate in enumerate(rates):
         row = [rate]
-        for analyzer in analyzers:
-            value = analyzer(config, rate).response("insert")
+        for spec in specs:
+            value = spec.analyze(config, rate).response("insert")
             row.append(math.inf if math.isinf(value) else round(value, 3))
         if sim_means is not None:
             for per_rate in sim_means:
@@ -281,7 +272,7 @@ def fig13(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
     table = _thumb_figure(
         "fig13", "Figure 13",
         "Naive Lock-coupling rule-of-thumb vs analytical lambda(rho=.5)",
-        analyze_lock_coupling, rule_of_thumb_1,
+        _NAIVE.analyze, rule_of_thumb_1,
         lambda config: rule_of_thumb_2(config))
     table.note("the effective maximum rate is roughly independent of the "
                "node size (Rule 2)")
@@ -294,7 +285,7 @@ def fig14(scale: float = 1.0, simulate: bool = False) -> ExperimentTable:
     table = _thumb_figure(
         "fig14", "Figure 14",
         "Optimistic Descent rule-of-thumb vs analytical lambda(rho=.5)",
-        analyze_optimistic, rule_of_thumb_3, rule_of_thumb_4)
+        _OPTIMISTIC.analyze, rule_of_thumb_3, rule_of_thumb_4)
     table.note("the effective maximum rate grows ~ N/log^2(N) with the "
                "node size (Rule 4): make nodes large for Optimistic Descent")
     return table
@@ -322,7 +313,7 @@ def _recovery_figure(experiment_id: str, figure: str, order: int,
     if simulate:
         sim_means = [
             sweep_simulated_responses(
-                _sim_base("optimistic-descent", order=order,
+                base_sim_config(_OPTIMISTIC, order=order,
                           costs=CostModel(disk_cost=10.0),
                           recovery=recovery, t_trans=100.0),
                 rates, scale)

@@ -77,6 +77,8 @@ EXPERIMENTS: Dict[str, Experiment] = dict([
            "Closed-system throughput vs multiprogramming level", True),
     _entry("ext05", "Extension: skew",
            "Insert response vs hotspot access skew", True),
+    _entry("ext06", "Extension: OLC",
+           "Optimistic Lock-coupling added to the comparison", True),
 ])
 
 

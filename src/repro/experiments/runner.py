@@ -3,10 +3,16 @@
 Usage::
 
     btree-perf list
+    btree-perf list-algorithms
     btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv] [--jobs 4]
     btree-perf all [--scale 0.1] [--jobs 4]
     btree-perf simulate --algorithm link-type --rate 0.2 \\
         --metrics-out run.ndjson --progress
+
+``list-algorithms`` prints the :mod:`repro.algorithms` registry — every
+registered algorithm with its display label, whether it has an
+analytical model, and its capability flags (``docs/architecture.md``
+shows how to register a new one).
 
 Simulation runs are memoized in an on-disk cache (``$REPRO_CACHE_DIR``
 or ``~/.cache/repro``), so re-running an experiment at the same scale
@@ -27,6 +33,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.algorithms import algorithm_names, all_algorithms, names
 from repro.errors import ReproError
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.report import format_table, to_csv
@@ -40,6 +47,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the available experiments")
+    sub.add_parser("list-algorithms",
+                   help="list the registered algorithms and capabilities")
     sub.add_parser("claims", help="evaluate the paper's in-text claims")
 
     run = sub.add_parser("run", help="run one experiment")
@@ -52,9 +61,8 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser(
         "simulate",
         help="run one simulator configuration with full telemetry")
-    from repro.simulator import ALGORITHMS
-    simulate.add_argument("--algorithm", default="link-type",
-                          choices=sorted(ALGORITHMS))
+    simulate.add_argument("--algorithm", default=names.LINK_TYPE,
+                          choices=sorted(algorithm_names()))
     simulate.add_argument("--rate", type=float, default=0.2,
                           help="Poisson arrival rate (default 0.2)")
     simulate.add_argument("--seed", type=int, default=0,
@@ -130,6 +138,12 @@ def _dispatch(args) -> int:
             for experiment in EXPERIMENTS.values():
                 print(f"{experiment.experiment_id}  {experiment.figure:<10}"
                       f"  {experiment.title}")
+            return 0
+        if args.command == "list-algorithms":
+            for spec in all_algorithms():
+                model = "model" if spec.has_model else "sim-only"
+                caps = ", ".join(spec.capabilities()) or "-"
+                print(f"{spec.name:<26} {spec.label:<32} {model:<9} {caps}")
             return 0
         if args.command == "claims":
             from repro.experiments.claims import evaluate_claims, format_claims

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.algorithms import names
 from repro.errors import ConfigurationError, UnstableQueueError
 from repro.model.occupancy import OccupancyModel
 from repro.model.params import ModelConfig
@@ -36,7 +37,7 @@ from repro.model.results import (
 )
 from repro.model.rwqueue import RWQueueInput, solve_rw_queue
 
-ALGORITHM = "link-type"
+ALGORITHM = names.LINK_TYPE
 
 
 def analyze_link(config: ModelConfig, arrival_rate: float,

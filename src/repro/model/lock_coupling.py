@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.algorithms import names
 from repro.errors import ConfigurationError, UnstableQueueError
 from repro.model.mg1 import LockCouplingServer
 from repro.model.occupancy import OccupancyModel
@@ -38,7 +39,7 @@ from repro.model.results import (
 )
 from repro.model.rwqueue import RWQueueInput, solve_rw_queue
 
-ALGORITHM = "naive-lock-coupling"
+ALGORITHM = names.NAIVE_LOCK_COUPLING
 
 _SERVICE_MODELS = ("hyperexponential", "exponential")
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.algorithms import names
 from repro.errors import ConfigurationError, UnstableQueueError
 from repro.model.mg1 import LockCouplingServer
 from repro.model.occupancy import OccupancyModel
@@ -42,7 +43,7 @@ from repro.model.results import (
 )
 from repro.model.rwqueue import RWQueueInput, solve_rw_queue
 
-ALGORITHM = "optimistic-descent"
+ALGORITHM = names.OPTIMISTIC_DESCENT
 
 
 def analyze_optimistic(config: ModelConfig, arrival_rate: float,

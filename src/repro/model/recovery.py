@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.algorithms import names
 from repro.errors import ConfigurationError
 from repro.model.occupancy import OccupancyModel
 from repro.model.optimistic import analyze_optimistic
@@ -84,7 +85,7 @@ def analyze_optimistic_with_recovery(
     )
     # Re-label so comparison plots can tell the policies apart.
     return AlgorithmPrediction(
-        algorithm=f"optimistic-descent+{policy.name}",
+        algorithm=f"{names.OPTIMISTIC_DESCENT}+{policy.name}",
         arrival_rate=prediction.arrival_rate,
         stable=prediction.stable,
         levels=prediction.levels,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.algorithms import names
 from repro.errors import ConfigurationError, UnstableQueueError
 from repro.model.occupancy import OccupancyModel
 from repro.model.params import ModelConfig
@@ -41,7 +42,7 @@ from repro.model.results import (
 )
 from repro.model.rwqueue import RWQueueInput, solve_rw_queue
 
-ALGORITHM = "two-phase-locking"
+ALGORITHM = names.TWO_PHASE_LOCKING
 
 
 def analyze_two_phase(config: ModelConfig, arrival_rate: float,

@@ -12,7 +12,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.algorithms import get_algorithm
 from repro.btree import build_tree, collect_statistics
+from repro.errors import ConfigurationError
 from repro.model.occupancy import OccupancyModel
 from repro.model.params import ModelConfig, TreeShape
 from repro.model.results import AlgorithmPrediction
@@ -98,8 +100,22 @@ def measured_model_config(sim_config: SimulationConfig,
                        order=sim_config.order)
 
 
+def resolve_analyzer(analyzer: Optional[Analyzer],
+                     algorithm: str) -> Analyzer:
+    """``analyzer`` itself, or ``algorithm``'s registered analytical
+    model when None (ConfigurationError for simulator-only specs)."""
+    if analyzer is not None:
+        return analyzer
+    spec = get_algorithm(algorithm)
+    if not spec.has_model:
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} has no registered analytical "
+            "model; pass an analyzer explicitly")
+    return spec.analyze
+
+
 def compare_prediction_to_simulation(
-        analyzer: Analyzer,
+        analyzer: Optional[Analyzer],
         sim_config: SimulationConfig,
         model_config: Optional[ModelConfig] = None,
         n_seeds: int = 2,
@@ -109,11 +125,14 @@ def compare_prediction_to_simulation(
     """Run the analyzer and the simulator at ``sim_config``'s operating
     point and tabulate per-operation agreement.
 
-    ``model_config`` defaults to :func:`measured_model_config` (shape
-    measured from an identically-built tree).  ``jobs`` fans the
-    replication seeds out over worker processes (see
-    :mod:`repro.parallel`); results are identical to serial execution.
+    ``analyzer=None`` uses the algorithm's registered analytical model
+    (see :mod:`repro.algorithms`).  ``model_config`` defaults to
+    :func:`measured_model_config` (shape measured from an
+    identically-built tree).  ``jobs`` fans the replication seeds out
+    over worker processes (see :mod:`repro.parallel`); results are
+    identical to serial execution.
     """
+    analyzer = resolve_analyzer(analyzer, sim_config.algorithm)
     config = model_config if model_config is not None \
         else measured_model_config(sim_config)
     if occupancy is not None:
@@ -137,16 +156,19 @@ def _report(sim_config: SimulationConfig,
     )
 
 
-def sweep_agreement(analyzer: Analyzer, sim_config: SimulationConfig,
+def sweep_agreement(analyzer: Optional[Analyzer],
+                    sim_config: SimulationConfig,
                     rates: Sequence[float], n_seeds: int = 2,
                     jobs: Optional[int] = None,
                     ) -> Dict[float, ValidationReport]:
     """Validate several operating points, reusing one measured shape.
 
+    ``analyzer=None`` uses the algorithm's registered analytical model.
     The whole ``(rate, seed)`` grid is submitted as one batch through
     :func:`repro.parallel.run_batch`, so with ``jobs=N`` (or an ambient
     parallel execution context) every point's replications overlap.
     """
+    analyzer = resolve_analyzer(analyzer, sim_config.algorithm)
     config = measured_model_config(sim_config)
     tasks = []
     for rate in rates:

@@ -16,11 +16,16 @@ import math
 import sys
 from typing import Optional, TextIO
 
+from repro.algorithms import display_label
 from repro.simulator.metrics import SimulationResult
 
 
 class ProgressPrinter:
     """Prints ``[k/total] algorithm rate=... seed=... -> outcome`` lines.
+
+    The algorithm is shown by its registry display label
+    (:func:`repro.algorithms.display_label`); composite names — e.g.
+    recovery-policy suffixes — fall back to the raw string.
 
     ``total`` is optional (sweep sizes are known per batch, not
     globally); without it the counter is open-ended (``[k]``).
@@ -44,6 +49,6 @@ class ProgressPrinter:
             outcome = (f"throughput={result.throughput:.4g} "
                        f"ops={result.measured_operations}")
         self.stream.write(
-            f"{prefix} {result.algorithm} rate={rate} "
+            f"{prefix} {display_label(result.algorithm)} rate={rate} "
             f"seed={result.seed} -> {outcome}\n")
         self.stream.flush()

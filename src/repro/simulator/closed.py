@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from repro.algorithms import get_algorithm
 from repro.btree.builder import build_tree
 from repro.btree.node import Node
 from repro.des.engine import Simulator
@@ -25,11 +26,7 @@ from repro.des.rwlock import RWLock
 from repro.errors import ConfigurationError
 from repro.simulator.config import SimulationConfig
 from repro.simulator.costs import ServiceTimeSampler
-from repro.simulator.driver import (
-    _ALGORITHM_MODULES,
-    _GatedObserver,
-    make_key_picker,
-)
+from repro.simulator.driver import _GatedObserver, make_key_picker
 from repro.simulator.metrics import MetricsCollector, SimulationResult, summarize
 from repro.simulator.operations import (
     OP_DELETE,
@@ -62,7 +59,7 @@ def run_closed_simulation(config: SimulationConfig,
     if think_time < 0:
         raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
 
-    module = _ALGORITHM_MODULES[config.algorithm]
+    module = get_algorithm(config.algorithm).closed_module
     seed_root = random.Random(config.seed)
     rng_build = random.Random(seed_root.randrange(2 ** 63))
     rng_keys = random.Random(seed_root.randrange(2 ** 63))

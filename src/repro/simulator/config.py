@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.algorithms.names import DEFAULT_ALGORITHM
 from repro.btree.policies import MERGE_AT_EMPTY, MergePolicy
 from repro.errors import ConfigurationError
 from repro.model.params import PAPER_MIX, CostModel, OperationMix
@@ -22,9 +23,9 @@ class SimulationConfig:
     5, mix (.3, .5, .2), 10,000 measured concurrent operations.
     """
 
-    #: Which concurrency-control algorithm to run:
-    #: "naive-lock-coupling", "optimistic-descent" or "link-type".
-    algorithm: str = "naive-lock-coupling"
+    #: Which concurrency-control algorithm to run — any registered name
+    #: (see ``repro.algorithms`` / ``btree-perf list-algorithms``).
+    algorithm: str = DEFAULT_ALGORITHM
     #: Poisson arrival rate of concurrent operations (1 / root-search units).
     arrival_rate: float = 0.1
     #: Maximum entries per node (the paper's maximum node size N).
@@ -44,14 +45,15 @@ class SimulationConfig:
     key_space: int = DEFAULT_KEY_SPACE
     seed: int = 0
     #: Recovery policy name: "no-recovery", "leaf-only-recovery" or
-    #: "naive-recovery" (applies to the optimistic-descent algorithm).
+    #: "naive-recovery" (applies to algorithms registered with
+    #: ``supports_recovery``).
     recovery: str = "no-recovery"
     #: Expected remaining transaction time for recovery lock retention.
     t_trans: float = 100.0
     #: Mean time between background compaction sweeps (Sagiv-style
     #: compression of empty leaves); None disables the compactor.
-    #: Only meaningful for the link-type algorithm, the one that never
-    #: merges inline.
+    #: Only meaningful for link-style algorithms (registered with
+    #: ``supports_compaction``), the ones that never merge inline.
     compaction_interval: Optional[float] = None
     #: Key-selection distribution: "uniform" (the paper's workload) or
     #: "hotspot" (a contiguous hot key range, concentrating contention
@@ -64,12 +66,10 @@ class SimulationConfig:
     hot_probability: float = 0.8
 
     def __post_init__(self) -> None:
-        from repro.simulator import ALGORITHMS  # local: avoid import cycle
-        if self.algorithm not in ALGORITHMS:
-            raise ConfigurationError(
-                f"unknown algorithm {self.algorithm!r}; expected one of "
-                f"{ALGORITHMS}"
-            )
+        # Local import: repro.algorithms may still be initialising when
+        # this module loads, but is complete by instantiation time.
+        from repro.algorithms import get_algorithm
+        spec = get_algorithm(self.algorithm)  # raises with known names
         if self.arrival_rate <= 0:
             raise ConfigurationError("arrival_rate must be positive")
         if self.n_operations < 1:
@@ -81,12 +81,11 @@ class SimulationConfig:
         if self.recovery not in ("no-recovery", "leaf-only-recovery",
                                  "naive-recovery"):
             raise ConfigurationError(f"unknown recovery {self.recovery!r}")
-        if self.recovery != "no-recovery" \
-                and self.algorithm != "optimistic-descent":
+        if self.recovery != "no-recovery" and not spec.supports_recovery:
             raise ConfigurationError(
-                "recovery policies are modelled on optimistic-descent only")
+                f"recovery policies are not modelled for {spec.label}")
         if self.compaction_interval is not None:
-            if not self.algorithm.startswith("link"):
+            if not spec.supports_compaction:
                 raise ConfigurationError(
                     "background compaction applies to link trees "
                     "(the other algorithms merge inline)")

@@ -27,16 +27,11 @@ import math
 import random
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
+from repro.algorithms import get_algorithm
 from repro.btree.builder import build_tree
 from repro.btree.node import Node
 from repro.des.engine import Simulator
 from repro.des.rwlock import RWLock
-from repro.errors import ConfigurationError
-from repro.simulator import link as link_ops
-from repro.simulator import link_symmetric as link_symmetric_ops
-from repro.simulator import lock_coupling as naive_ops
-from repro.simulator import optimistic as optimistic_ops
-from repro.simulator import two_phase as two_phase_ops
 from repro.simulator.config import SimulationConfig
 from repro.simulator.costs import ServiceTimeSampler
 from repro.simulator.metrics import (
@@ -56,16 +51,17 @@ from repro.workloads.keyspace import HotspotKeys, KeyPicker, UniformKeys
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.cache import ResultCache
 
-_ALGORITHM_MODULES = {
-    "naive-lock-coupling": naive_ops,
-    "optimistic-descent": optimistic_ops,
-    "link-type": link_ops,
-    "link-symmetric": link_symmetric_ops,
-    "two-phase-locking": two_phase_ops,
-}
-
 #: Interval (in root-search time units) between root-utilization samples.
 _ROOT_SAMPLE_INTERVAL = 1.0
+
+
+def __getattr__(name: str):
+    if name == "_ALGORITHM_MODULES":
+        # Deprecated alias of the registry, kept for callers that
+        # enumerated the old name -> ops-module map.
+        from repro.algorithms import all_algorithms
+        return {spec.name: spec.ops for spec in all_algorithms()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class _GatedObserver:
@@ -107,9 +103,7 @@ def run_simulation(config: SimulationConfig, trace=None,
     finished :class:`~repro.obs.telemetry.RunTelemetry` afterwards
     (``docs/observability.md``).
     """
-    module = _ALGORITHM_MODULES.get(config.algorithm)
-    if module is None:  # defensive: config validates too
-        raise ConfigurationError(f"unknown algorithm {config.algorithm!r}")
+    module = get_algorithm(config.algorithm).ops
 
     seed_root = random.Random(config.seed)
     rng_build = random.Random(seed_root.randrange(2 ** 63))

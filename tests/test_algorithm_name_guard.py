@@ -1,0 +1,39 @@
+"""Guard: no hard-coded algorithm-name literals outside the registry.
+
+The refactor's contract is that :mod:`repro.algorithms` is the single
+place where algorithm names exist as strings; everything else goes
+through :data:`repro.algorithms.names` constants or registry specs.
+This test scans every source file's AST for string constants that
+*exactly* equal a registered name (prose mentioning an algorithm inside
+a longer note or docstring is fine) and fails with the offending
+locations, so a regression names its own culprit.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.algorithms import algorithm_names
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: The only package allowed to spell algorithm names as literals.
+ALLOWED = SRC / "repro" / "algorithms"
+
+
+def test_algorithm_names_only_appear_in_the_registry_package():
+    registered = set(algorithm_names())
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ALLOWED in path.parents:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and node.value in registered:
+                offenders.append(
+                    f"{path.relative_to(SRC)}:{node.lineno} "
+                    f"{node.value!r}")
+    assert not offenders, (
+        "hard-coded algorithm names found (use repro.algorithms.names "
+        "or registry specs instead):\n  " + "\n  ".join(offenders))

@@ -288,7 +288,8 @@ class TestBatchIntegration:
         lines = stream.getvalue().splitlines()
         assert len(lines) == 2
         assert lines[0].startswith("[1/2]")
-        assert "link-type" in lines[0] and "seed=7" in lines[0]
+        # Algorithms print by registry display label, not raw name.
+        assert "Link-type" in lines[0] and "seed=7" in lines[0]
 
 
 # ----------------------------------------------------------------------
