@@ -38,7 +38,25 @@ class UnstableQueueError(ModelError):
 
 
 class ConvergenceError(ModelError):
-    """An iterative solver failed to converge to the requested tolerance."""
+    """An iterative solver failed to converge to the requested tolerance.
+
+    Structured so sweep drivers can record the failure per parameter
+    point instead of letting a NaN propagate into result tables:
+    ``solver`` names the iteration that failed, ``iterations`` how far
+    it got, ``residual`` the last fixed-point residual (possibly NaN),
+    and ``context`` carries solver-specific diagnostics (input rates,
+    brackets, the B-tree level, ...).
+    """
+
+    def __init__(self, message: str, *, solver: str | None = None,
+                 iterations: int | None = None,
+                 residual: float | None = None,
+                 context: dict | None = None) -> None:
+        super().__init__(message)
+        self.solver = solver
+        self.iterations = iterations
+        self.residual = residual
+        self.context = dict(context or {})
 
 
 class SimulationError(ReproError):
@@ -70,6 +88,24 @@ class ProcessError(SimulationError):
 
 class LockProtocolError(SimulationError):
     """A process violated the lock protocol (e.g. double release)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for sweep-resilience failures (see :mod:`repro.resilience`)."""
+
+
+class CheckpointError(ResilienceError):
+    """A sweep checkpoint journal cannot be used (wrong task list, bad
+    header, unwritable path)."""
+
+
+class InjectedFaultError(ResilienceError):
+    """A deterministic fault from the fault-injection harness fired.
+
+    Raised in place of a hard worker kill when the harness runs inline
+    (killing the calling process would take the test suite down with
+    it); worker processes really do die.
+    """
 
 
 class BTreeError(ReproError):

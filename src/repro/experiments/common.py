@@ -102,10 +102,14 @@ def sweep_replications(base: SimulationConfig, rates: Sequence[float],
     return [flat[i * n:(i + 1) * n] for i in range(len(rates))]
 
 
-def _pooled_means(results: Sequence[SimulationResult]) -> Dict[str, float]:
+def _pooled_means(results: Sequence[Optional[SimulationResult]]
+                  ) -> Dict[str, float]:
+    # None entries are quarantined tasks from a resilient sweep: the
+    # point survives on its remaining replications.
     means = pooled_response_means(results)
     means["_overflow_fraction"] = (
-        sum(1 for r in results if r.overflowed) / len(results))
+        sum(1 for r in results if r is not None and r.overflowed)
+        / len(results))
     return means
 
 

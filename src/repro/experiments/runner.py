@@ -25,16 +25,22 @@ default, 1, is serial); results are bit-identical either way.  See
 ``--progress`` streams one line per completed run to stderr;
 ``simulate`` runs one configuration under full telemetry and
 ``--metrics-out PATH`` exports it as NDJSON (``docs/observability.md``).
+
+``--task-timeout``, ``--max-retries``, ``--checkpoint`` and ``--resume``
+switch sweeps into resilient execution (retries with backoff,
+quarantine instead of abort, checkpoint/resume); see
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
 from repro.algorithms import algorithm_names, all_algorithms, names
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.report import format_table, to_csv
 from repro.parallel import ResultCache, execution
@@ -86,7 +92,74 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="worker processes for the replication "
                                "seeds (default 1: serial)")
+    _resilience_flags(simulate)
     return parser
+
+
+def _positive_seconds(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a number of seconds") from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive, finite number of seconds, got {text}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 0, got {value}")
+    return value
+
+
+def _resilience_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--task-timeout", type=_positive_seconds,
+                     default=None, metavar="SECONDS",
+                     help="wall-clock deadline per simulation task; a "
+                          "stalled task is retried, then quarantined "
+                          "(default: none)")
+    sub.add_argument("--max-retries", type=_non_negative_int,
+                     default=None, metavar="N",
+                     help="retries per failed task before it is "
+                          "quarantined (default 2 when any resilience "
+                          "flag is set)")
+    sub.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="write a sweep checkpoint journal to PATH "
+                          "(doubles as the failure manifest)")
+    sub.add_argument("--resume", action="store_true",
+                     help="resume from the --checkpoint journal, "
+                          "skipping already-completed tasks")
+
+
+def _resilience_from_args(args):
+    """The :class:`~repro.resilience.ResilienceOptions` the flags ask
+    for, or None when none were given (legacy fail-fast batches)."""
+    from repro.resilience import ResilienceOptions, RetryPolicy
+
+    wants = (args.task_timeout is not None
+             or args.max_retries is not None
+             or args.checkpoint is not None
+             or args.resume)
+    if not wants:
+        return None
+    if args.resume and args.checkpoint is None:
+        raise ConfigurationError(
+            "--resume needs --checkpoint PATH (the journal of the "
+            "interrupted sweep to resume from)")
+    retry = RetryPolicy(max_retries=args.max_retries) \
+        if args.max_retries is not None else RetryPolicy()
+    return ResilienceOptions(retry=retry,
+                             task_timeout=args.task_timeout,
+                             checkpoint=args.checkpoint,
+                             resume=args.resume)
 
 
 def _common_run_flags(sub: argparse.ArgumentParser) -> None:
@@ -108,6 +181,7 @@ def _common_run_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--progress", action="store_true",
                      help="stream one line per completed simulation run "
                           "to stderr")
+    _resilience_flags(sub)
 
 
 def _emit(table, as_csv: bool, plot: bool = False) -> None:
@@ -160,7 +234,9 @@ def _dispatch(args) -> int:
         if args.progress:
             from repro.obs import ProgressPrinter
             progress = ProgressPrinter()
-        with execution(jobs=args.jobs, cache=cache, progress=progress):
+        resilience = _resilience_from_args(args)
+        with execution(jobs=args.jobs, cache=cache, progress=progress,
+                       resilience=resilience):
             if args.command == "run":
                 experiment = get_experiment(args.experiment_id)
                 _emit(experiment.run(scale=args.scale, simulate=simulate),
@@ -193,15 +269,20 @@ def _simulate(args) -> int:
         args.scale)
     options = TelemetryOptions(sample_interval=args.sample_interval)
     progress = ProgressPrinter(total=args.seeds) if args.progress else None
-    results, merged = collect_replications(
-        config, n_seeds=args.seeds, options=options, jobs=args.jobs,
-        progress=progress)
+    with execution(resilience=_resilience_from_args(args)):
+        results, merged = collect_replications(
+            config, n_seeds=args.seeds, options=options, jobs=args.jobs,
+            progress=progress)
     if args.metrics_out:
         write_ndjson(args.metrics_out, merged)
         print(f"telemetry written to {args.metrics_out} "
               f"(schema v{merged.schema}, {len(merged.runs)} run(s), "
               f"{len(merged.runs[0].levels)} levels)")
-    for result in results:
+    for offset, result in enumerate(results):
+        if result is None:
+            print(f"seed={config.seed + offset} QUARANTINED "
+                  f"(see the failure manifest / stderr)")
+            continue
         status = ("OVERFLOW" if result.overflowed
                   else f"throughput={result.throughput:.4g} "
                        f"mean_response={result.overall_mean_response:.4g}")

@@ -83,7 +83,14 @@ def closed_system_prediction(analyzer: Analyzer, config: ModelConfig,
         prediction = analyzer(config, x, **analyzer_kwargs)
         if not prediction.stable:
             return math.inf
-        return _mixed_response(prediction, config)
+        r = _mixed_response(prediction, config)
+        if math.isnan(r):
+            raise ConvergenceError(
+                f"mix-weighted response is NaN at throughput {x:.6g}",
+                solver="closed-system",
+                context={"throughput": x,
+                         "multiprogramming_level": multiprogramming_level})
+        return r
 
     # The fixed point solves g(x) = x * (R(x) + Z) - N = 0; g is
     # strictly increasing in x (R is), so bisection is exact.  When even
@@ -106,7 +113,7 @@ def closed_system_prediction(analyzer: Analyzer, config: ModelConfig,
             throughput=x, response_time=response, capacity=capacity,
         )
     lo, hi = 1e-12, ceiling
-    for _ in range(max_iterations):
+    for iteration in range(max_iterations):
         if hi - lo <= rel_tol * hi:
             break
         mid = 0.5 * (lo + hi)
@@ -115,7 +122,12 @@ def closed_system_prediction(analyzer: Analyzer, config: ModelConfig,
         else:
             hi = mid
     else:  # pragma: no cover - bisection halves 500 times
-        raise ConvergenceError("closed-system fixed point did not converge")
+        raise ConvergenceError(
+            "closed-system fixed point did not converge",
+            solver="closed-system", iterations=max_iterations,
+            residual=hi - lo,
+            context={"multiprogramming_level": multiprogramming_level,
+                     "think_time": think_time})
     x = 0.5 * (lo + hi)
     response = response_at(x)
     return ClosedSystemPrediction(

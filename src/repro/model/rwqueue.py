@@ -35,7 +35,19 @@ from dataclasses import dataclass
 
 from scipy.optimize import brentq
 
-from repro.errors import ConfigurationError, UnstableQueueError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    UnstableQueueError,
+)
+from repro.resilience.faults import consume_nan_fault
+
+#: Damped-fallback iteration cap (used only when the bracketing root
+#: finder fails, e.g. a poisoned evaluation returned NaN).
+_FALLBACK_MAX_ITERATIONS = 10_000
+_FALLBACK_DAMPING = 0.5
+#: rho is confined below this during the fallback iteration.
+_RHO_CEILING = 1.0 - 1e-12
 
 
 @dataclass(frozen=True)
@@ -90,8 +102,62 @@ def _reader_drains(rho: float, q: RWQueueInput) -> tuple:
 
 
 def _fixed_point_rhs(rho: float, q: RWQueueInput) -> float:
+    if consume_nan_fault():
+        return math.nan
     r_u, r_e = _reader_drains(rho, q)
     return q.lambda_w * (1.0 / q.mu_w + rho * r_u + (1.0 - rho) * r_e)
+
+
+def _damped_fixed_point(q: RWQueueInput, tol: float,
+                        level: int | None) -> float:
+    """Fallback solver: damped iteration on ``rho <- f(rho)``.
+
+    Used only when the bracketing root finder could not run (a fixed-
+    point evaluation came back non-finite).  Non-finite evaluations are
+    skipped — a transient poisoned value is retried — within the hard
+    iteration cap; persistent failure raises a structured
+    :class:`~repro.errors.ConvergenceError`.
+    """
+    rho = 0.5
+    residual = math.inf
+    converged = False
+    iterations = 0
+    for iterations in range(1, _FALLBACK_MAX_ITERATIONS + 1):
+        rhs = _fixed_point_rhs(rho, q)
+        if not math.isfinite(rhs):
+            continue
+        nxt = ((1.0 - _FALLBACK_DAMPING) * rho
+               + _FALLBACK_DAMPING * min(rhs, _RHO_CEILING))
+        residual = abs(nxt - rho)
+        rho = nxt
+        if residual <= max(tol, 1e-12):
+            converged = True
+            break
+    if not converged:
+        raise ConvergenceError(
+            f"R/W queue damped fixed point did not converge within "
+            f"{_FALLBACK_MAX_ITERATIONS} iterations",
+            solver="rw-queue", iterations=iterations, residual=residual,
+            context={"level": level, "lambda_w": q.lambda_w,
+                     "mu_w": q.mu_w})
+    final = _fixed_point_rhs(rho, q)
+    if math.isfinite(final) and final >= _RHO_CEILING:
+        # The iteration pinned rho at the ceiling: the queue has no
+        # root below 1 — the usual saturation signal, not divergence.
+        raise UnstableQueueError(
+            f"no stable writer utilization: offered load rho_w >= 1 "
+            f"(lambda_w={q.lambda_w:.6g}, mu_w={q.mu_w:.6g})",
+            level=level)
+    if not math.isfinite(final) or abs(final - rho) > 1e-6:
+        raise ConvergenceError(
+            f"R/W queue damped fixed point settled on rho={rho:.6g} "
+            f"but f(rho)={final:.6g} is not a root",
+            solver="rw-queue", iterations=iterations,
+            residual=abs(final - rho) if math.isfinite(final)
+            else math.nan,
+            context={"level": level, "lambda_w": q.lambda_w,
+                     "mu_w": q.mu_w})
+    return rho
 
 
 def solve_rw_queue(q: RWQueueInput, tol: float = 1e-12,
@@ -101,6 +167,14 @@ def solve_rw_queue(q: RWQueueInput, tol: float = 1e-12,
     Raises :class:`~repro.errors.UnstableQueueError` when no root exists
     in [0, 1) — i.e. the writer load saturates the queue.  ``level`` is
     attached to the exception for diagnostics.
+
+    Guarded against numeric corruption (``docs/robustness.md``): a
+    non-finite fixed-point evaluation — e.g. one poisoned by the
+    fault-injection harness — diverts to a damped fallback iteration
+    instead of feeding NaN into the bracketing root finder, and a
+    persistent failure raises a structured
+    :class:`~repro.errors.ConvergenceError` rather than propagating
+    NaN into result tables.
     """
     if q.lambda_w == 0.0:
         r_u, r_e = _reader_drains(0.0, q)
@@ -112,16 +186,33 @@ def solve_rw_queue(q: RWQueueInput, tol: float = 1e-12,
 
     # g(0) < 0 always (writers arrive, so f(0) > 0).  The queue is stable
     # iff g crosses zero before rho = 1.
-    upper = 1.0 - 1e-12
-    if g(upper) <= 0.0:
-        raise UnstableQueueError(
-            f"no stable writer utilization: offered load rho_w >= 1 "
-            f"(lambda_w={q.lambda_w:.6g}, mu_w={q.mu_w:.6g})",
-            level=level,
-        )
-    rho = float(brentq(g, 0.0, upper, xtol=tol))
+    upper = _RHO_CEILING
+    g_upper = g(upper)
+    if math.isfinite(g_upper):
+        if g_upper <= 0.0:
+            raise UnstableQueueError(
+                f"no stable writer utilization: offered load rho_w >= 1 "
+                f"(lambda_w={q.lambda_w:.6g}, mu_w={q.mu_w:.6g})",
+                level=level,
+            )
+        try:
+            rho = float(brentq(g, 0.0, upper, xtol=tol))
+        except (ValueError, RuntimeError):
+            rho = math.nan  # a mid-search evaluation went non-finite
+    else:
+        rho = math.nan
+    if not (math.isfinite(rho) and 0.0 <= rho < 1.0):
+        rho = _damped_fixed_point(q, tol, level)
     r_u, r_e = _reader_drains(rho, q)
     t_a = 1.0 / q.mu_w + rho * r_u + (1.0 - rho) * r_e
+    if not (math.isfinite(r_u) and math.isfinite(r_e)
+            and math.isfinite(t_a)):
+        raise ConvergenceError(
+            f"R/W queue solution is non-finite at rho={rho:.6g} "
+            f"(r_u={r_u:.6g}, r_e={r_e:.6g}, T_a={t_a:.6g})",
+            solver="rw-queue", residual=math.nan,
+            context={"level": level, "lambda_w": q.lambda_w,
+                     "mu_w": q.mu_w})
     return RWQueueSolution(rho_w=rho, r_u=r_u, r_e=r_e,
                            aggregate_service_time=t_a)
 

@@ -40,7 +40,9 @@ def _bracket_instability(analyze: Analyzer, config: ModelConfig,
         raise ConvergenceError(
             "no instability found below the bracket limit; the algorithm "
             "has no effective maximum throughput at this configuration "
-            "(the paper observes this for the Link-type algorithm)"
+            "(the paper observes this for the Link-type algorithm)",
+            solver="max-throughput",
+            context={"bracket_limit": _BRACKET_LIMIT},
         )
     return hi
 
@@ -65,7 +67,10 @@ def max_throughput(analyze: Analyzer, config: ModelConfig,
         while not stable(run(config, lo)):
             lo /= 2.0
             if lo < 1e-15:
-                raise ConvergenceError("unstable even at negligible load")
+                raise ConvergenceError(
+                    "unstable even at negligible load",
+                    solver="max-throughput",
+                    context={"start": start})
         hi = lo * 2.0
     else:
         hi = _bracket_instability(run, config, stable, start)
@@ -101,7 +106,9 @@ def arrival_rate_for_root_utilization(
             lo /= 2.0
             if lo < 1e-15:
                 raise ConvergenceError(
-                    f"utilization exceeds {target} even at negligible load")
+                    f"utilization exceeds {target} even at negligible load",
+                    solver="root-utilization",
+                    context={"target": target})
         hi = lo * 2.0
     else:
         hi = start
@@ -110,7 +117,10 @@ def arrival_rate_for_root_utilization(
             if hi > _BRACKET_LIMIT:
                 raise ConvergenceError(
                     f"utilization never reaches {target}; effectively "
-                    "unbounded throughput at this configuration")
+                    "unbounded throughput at this configuration",
+                    solver="root-utilization",
+                    context={"target": target,
+                             "bracket_limit": _BRACKET_LIMIT})
         lo = hi / 2.0
     return _bisect(below, lo, hi, rel_tol)
 
@@ -127,7 +137,8 @@ def _bisect(predicate_holds_below: Callable[[float], bool], lo: float,
         else:
             hi = mid
     raise ConvergenceError(  # pragma: no cover - 200 halvings always suffice
-        f"bisection failed to converge in {max_iter} iterations")
+        f"bisection failed to converge in {max_iter} iterations",
+        solver="bisection", iterations=max_iter, residual=hi - lo)
 
 
 def stability_margin(prediction: AlgorithmPrediction) -> float:

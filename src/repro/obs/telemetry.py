@@ -263,5 +263,9 @@ def collect_replications(config: SimulationConfig, n_seeds: int = 5,
 
     results = run_batch(tasks, jobs=jobs, progress=progress,
                         telemetry_sink=sink)
-    runs = [captured[index] for index in range(len(tasks))]
+    # Under a resilient execution context a seed can be quarantined and
+    # deliver no telemetry; merge whatever arrived (merge_telemetry
+    # still refuses an entirely empty point).
+    runs = [captured[index] for index in range(len(tasks))
+            if index in captured]
     return results, merge_telemetry(runs)

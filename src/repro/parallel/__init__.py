@@ -13,8 +13,13 @@ runs, the multiprogramming level), which buys two things at once:
   already-computed point.
 
 The :func:`execution` context manager installs ambient ``jobs``/
-``cache`` defaults so the CLI can switch the entire experiment layer
-with one ``with`` block; see ``docs/performance.md``.
+``cache``/``resilience`` defaults so the CLI can switch the entire
+experiment layer with one ``with`` block; see ``docs/performance.md``
+and ``docs/robustness.md``.  With a
+:class:`~repro.resilience.ResilienceOptions` installed, batches retry,
+quarantine and checkpoint instead of aborting on the first failure;
+:func:`run_batch_report` returns the full
+:class:`~repro.resilience.BatchReport`.
 """
 
 from repro.parallel.cache import (
@@ -34,6 +39,8 @@ from repro.parallel.executor import (
     execute_task,
     replication_tasks,
     run_batch,
+    run_batch_report,
+    task_key,
 )
 
 __all__ = [
@@ -49,4 +56,6 @@ __all__ = [
     "execution",
     "replication_tasks",
     "run_batch",
+    "run_batch_report",
+    "task_key",
 ]

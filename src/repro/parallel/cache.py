@@ -21,8 +21,12 @@ Layout on disk (see ``docs/performance.md``)::
 where ``<cache dir>`` is ``$REPRO_CACHE_DIR`` when set, else
 ``$XDG_CACHE_HOME/repro`` (default ``~/.cache/repro``).  Entries are
 written atomically (temp file + rename) so a crashed run never leaves a
-torn pickle; unreadable entries are treated as misses, deleted, and
-recomputed.
+torn pickle, and each entry carries a SHA-256 payload checksum
+(:data:`ENTRY_MAGIC` header) so *any* on-disk corruption — truncation,
+bit rot, a concurrent writer torn mid-entry — degrades to a cache miss
+instead of feeding a damaged result into a sweep.  Unreadable or
+unverifiable entries are deleted and recomputed; entries from the older
+headerless format still load when their pickle is intact.
 """
 
 from __future__ import annotations
@@ -45,6 +49,11 @@ from repro.simulator.metrics import SimulationResult
 #: previously cached entry then misses and is recomputed.
 #: sim-v2: percentile reservoir seeds now derive from the run seed.
 CODE_SALT = "sim-v2"
+
+#: Header magic of the checksummed entry format:
+#: ``ENTRY_MAGIC + sha256(payload) + payload``.
+ENTRY_MAGIC = b"RPCK1\n"
+_DIGEST_SIZE = hashlib.sha256().digest_size
 
 
 def default_cache_dir() -> Path:
@@ -128,44 +137,67 @@ class ResultCache:
     def get(self, key: str) -> Optional[SimulationResult]:
         """The cached result for ``key``, or None on a miss.
 
-        A corrupt or unreadable entry is removed and reported as a miss
-        (the caller recomputes and overwrites it).
+        A corrupt, truncated, or checksum-failing entry is removed and
+        reported as a miss (the caller recomputes and overwrites it) —
+        corruption must never crash a sweep or leak a damaged result.
         """
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
-                result = pickle.load(handle)
+                blob = handle.read()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError, TypeError):
-            self.stats.errors += 1
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+        except OSError:
+            return self._reject(path)
+        try:
+            result = self._decode(blob)
+        except Exception:
+            # Anything: torn pickle, checksum mismatch, hostile bytes.
+            return self._reject(path)
         if not isinstance(result, SimulationResult):
-            self.stats.errors += 1
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+            return self._reject(path)
         self.stats.hits += 1
         return result
 
+    def _decode(self, blob: bytes) -> Any:
+        """Verify and unpickle one entry body.
+
+        Checksummed entries must verify exactly; headerless blobs are
+        treated as the pre-checksum format and loaded directly (their
+        own pickle framing still catches truncation).
+        """
+        if blob.startswith(ENTRY_MAGIC):
+            header_end = len(ENTRY_MAGIC) + _DIGEST_SIZE
+            digest = blob[len(ENTRY_MAGIC):header_end]
+            payload = blob[header_end:]
+            if hashlib.sha256(payload).digest() != digest:
+                raise ValueError("cache entry checksum mismatch")
+            return pickle.loads(payload)
+        return pickle.loads(blob)
+
+    def _reject(self, path: Path) -> None:
+        """Count and delete an unusable entry; always a miss."""
+        self.stats.errors += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
     def put(self, key: str, result: SimulationResult) -> None:
-        """Store ``result`` under ``key`` atomically (tmp + rename)."""
+        """Store ``result`` under ``key`` atomically (tmp + rename),
+        with the payload checksum prepended."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(ENTRY_MAGIC)
+                handle.write(hashlib.sha256(payload).digest())
+                handle.write(payload)
             os.replace(tmp_name, path)
         except OSError:
             try:

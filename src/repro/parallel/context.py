@@ -20,6 +20,7 @@ from typing import Callable, Iterator, Optional
 
 from repro.errors import ConfigurationError
 from repro.parallel.cache import ResultCache
+from repro.resilience.policy import ResilienceOptions
 
 #: Sentinel distinguishing "not passed" from an explicit None.
 _UNSET = object()
@@ -41,6 +42,10 @@ class ExecutionContext:
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
     progress: Optional[Callable] = None
+    #: Failure policy for batches below this context (retries, task
+    #: timeouts, checkpointing — see :mod:`repro.resilience`); ``None``
+    #: keeps the historical fail-fast behavior.
+    resilience: Optional[ResilienceOptions] = None
 
     @property
     def parallel(self) -> bool:
@@ -59,6 +64,7 @@ def current_context() -> ExecutionContext:
 def execution(jobs: Optional[int] = _UNSET,
               cache: Optional[ResultCache] = _UNSET,
               progress: Optional[Callable] = _UNSET,
+              resilience: Optional[ResilienceOptions] = _UNSET,
               ) -> Iterator[ExecutionContext]:
     """Install an execution context for the enclosed block.
 
@@ -70,6 +76,7 @@ def execution(jobs: Optional[int] = _UNSET,
         jobs=outer.jobs if jobs is _UNSET else jobs,
         cache=outer.cache if cache is _UNSET else cache,
         progress=outer.progress if progress is _UNSET else progress,
+        resilience=outer.resilience if resilience is _UNSET else resilience,
     )
     if context.jobs is not None and context.jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {context.jobs}")
@@ -104,3 +111,11 @@ def resolve_progress(progress: Optional[Callable]) -> Optional[Callable]:
     """Effective progress callback: the argument, else the ambient
     context's (``execution(progress=None)`` silences an outer one)."""
     return progress if progress is not None else current_context().progress
+
+
+def resolve_resilience(resilience: Optional[ResilienceOptions]
+                       ) -> Optional[ResilienceOptions]:
+    """Effective failure policy: the argument, else the ambient
+    context's (``execution(resilience=None)`` restores fail-fast)."""
+    return resilience if resilience is not None \
+        else current_context().resilience

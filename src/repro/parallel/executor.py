@@ -15,17 +15,69 @@ is the single choke point all sweeps go through:
 Determinism contract: for a fixed task list, the returned list is
 identical whatever ``jobs`` is and whatever mixture of cache hits and
 recomputes served it.
+
+With a :class:`~repro.resilience.ResilienceOptions` installed (argument
+or ambient :func:`~repro.parallel.context.execution` context), the
+batch additionally survives hostile conditions: per-task exceptions and
+``BrokenProcessPool`` trigger bounded retries with exponential backoff,
+exhausted tasks are quarantined (a ``None`` slot in the returned list)
+instead of aborting the sweep, stalled tasks are preempted by a
+parent-side wall deadline, budget-truncated runs come back as partial
+saturation-flagged results, and a checkpoint journal lets an
+interrupted sweep resume.  :func:`run_batch_report` exposes the full
+:class:`~repro.resilience.BatchReport`.  The fault-free path through a
+resilient batch produces the same results as the plain one.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import signal
+import tempfile
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError
-from repro.parallel.cache import ResultCache
-from repro.parallel.context import resolve_cache, resolve_jobs, resolve_progress
+from repro.parallel.cache import CODE_SALT, ResultCache, config_key
+from repro.parallel.context import (
+    resolve_cache,
+    resolve_jobs,
+    resolve_progress,
+    resolve_resilience,
+)
+from repro.resilience.budget import TaskBudget, TruncatedResult
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    apply_worker_faults,
+    corrupt_cache_entry,
+    plan_from_env,
+)
+from repro.resilience.manifest import SweepJournal
+from repro.resilience.policy import ResilienceOptions
+from repro.resilience.report import (
+    ERROR_TIMEOUT,
+    ERROR_WORKER_DIED,
+    BatchReport,
+    FailureRecord,
+    TruncationRecord,
+)
 from repro.simulator.config import SimulationConfig
 from repro.simulator.metrics import SimulationResult
 
@@ -35,6 +87,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Task kinds understood by :func:`execute_task`.
 KIND_OPEN = "open"
 KIND_CLOSED = "closed"
+
+#: Bound on how long pool teardown may block (joining dead workers).
+_TEARDOWN_GRACE = 5.0
 
 
 @dataclass(frozen=True)
@@ -50,6 +105,13 @@ class SimTask:
     also record full run telemetry.  Telemetry runs bypass the result
     cache — the time series are the artifact, and a memoized result
     has none — and are supported for open tasks only.
+
+    ``budget`` (a :class:`~repro.resilience.TaskBudget`) bounds the run
+    by executed events and/or wall clock; a tripped budget yields a
+    :class:`~repro.resilience.TruncatedResult` whose partial metrics
+    are flagged as saturation-suspected.  Budgets do not enter the
+    cache key — they cannot alter a run that completes within them,
+    and truncated results are never cached.
     """
 
     config: SimulationConfig
@@ -57,6 +119,7 @@ class SimTask:
     mpl: Optional[int] = None
     think_time: float = 0.0
     telemetry: Optional["TelemetryOptions"] = None
+    budget: Optional[TaskBudget] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_OPEN, KIND_CLOSED):
@@ -70,11 +133,22 @@ class SimTask:
         if self.telemetry is not None and self.kind != KIND_OPEN:
             raise ConfigurationError(
                 "telemetry collection is supported for open tasks only")
+        if self.budget is not None and not isinstance(self.budget,
+                                                      TaskBudget):
+            raise ConfigurationError(
+                f"budget must be a TaskBudget, got "
+                f"{type(self.budget).__name__}")
 
     def cache_key(self, cache: ResultCache) -> str:
-        extra = {} if self.kind == KIND_OPEN else \
-            {"mpl": self.mpl, "think_time": self.think_time}
-        return cache.key_for(self.config, kind=self.kind, extra=extra)
+        return task_key(self, salt=cache.salt)
+
+
+def task_key(task: SimTask, salt: str = CODE_SALT) -> str:
+    """The task's content key — shared by the result cache and the
+    checkpoint journal, so both identify a point the same way."""
+    extra = {} if task.kind == KIND_OPEN else \
+        {"mpl": task.mpl, "think_time": task.think_time}
+    return config_key(task.config, kind=task.kind, extra=extra, salt=salt)
 
 
 def replication_tasks(config: SimulationConfig,
@@ -88,23 +162,56 @@ def execute_task(task: SimTask) -> Any:
     """Run one task to completion (top-level, hence picklable: this is
     the function worker processes import and call).
 
-    Returns the task's :class:`SimulationResult` — or, when the task
-    carries telemetry options, the full
+    Returns the task's :class:`SimulationResult` — or a
+    :class:`~repro.resilience.TruncatedResult` when the task's budget
+    tripped, or, when the task carries telemetry options, the full
     :class:`~repro.obs.telemetry.RunTelemetry` (whose ``result`` field
-    is that same result)."""
+    is the run's result, truncated or not)."""
     # Imported here, not at module top, to keep the worker import light
     # and to avoid a cycle (driver -> parallel -> driver).
     if task.kind == KIND_CLOSED:
         from repro.simulator.closed import run_closed_simulation
         return run_closed_simulation(task.config, task.mpl,
-                                     think_time=task.think_time)
+                                     think_time=task.think_time,
+                                     budget=task.budget)
     from repro.simulator.driver import run_simulation
     if task.telemetry is not None:
         from repro.obs.telemetry import TelemetryRecorder
         recorder = TelemetryRecorder(task.telemetry)
-        run_simulation(task.config, telemetry=recorder)
+        run_simulation(task.config, telemetry=recorder, budget=task.budget)
         return recorder.telemetry
-    return run_simulation(task.config)
+    return run_simulation(task.config, budget=task.budget)
+
+
+def _execute_guarded(task: SimTask, index: int,
+                     fault_specs: Tuple[FaultSpec, ...],
+                     beacon_dir: Optional[str]) -> Any:
+    """Worker entry point for resilient batches.
+
+    Drops a beacon file (``running-<index>`` containing the worker
+    pid) before executing and removes it on any *Python-level* return,
+    so a beacon that survives marks a task whose worker process died
+    mid-flight — the parent uses beacons plus worker exit codes to
+    charge a pool breakage to the task that caused it rather than to
+    every task that happened to be in flight.
+    """
+    beacon = None
+    if beacon_dir:
+        beacon = os.path.join(beacon_dir, f"running-{index}")
+        try:
+            with open(beacon, "w", encoding="ascii") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:
+            beacon = None
+    try:
+        apply_worker_faults(fault_specs)
+        return execute_task(task)
+    finally:
+        if beacon is not None:
+            try:
+                os.remove(beacon)
+            except OSError:
+                pass
 
 
 def run_batch(tasks: Sequence[SimTask],
@@ -113,23 +220,43 @@ def run_batch(tasks: Sequence[SimTask],
               progress: Optional[Callable[[SimulationResult], None]] = None,
               telemetry_sink: Optional[Callable[[int, "RunTelemetry"], None]]
               = None,
-              ) -> List[SimulationResult]:
+              resilience: Optional[ResilienceOptions] = None,
+              ) -> List[Optional[SimulationResult]]:
     """Execute ``tasks`` and return their results in task order.
 
-    ``jobs``/``cache``/``progress`` default to the ambient
-    :class:`~repro.parallel.context.ExecutionContext` (serial, no
-    cache, silent).  ``jobs <= 1`` runs everything inline in this
-    process — byte-for-byte today's serial behavior; ``jobs > 1`` fans
-    cache misses out over that many worker processes.  ``progress`` is
-    called once per result; in parallel mode the call order follows
-    completion order, not task order.
+    ``jobs``/``cache``/``progress``/``resilience`` default to the
+    ambient :class:`~repro.parallel.context.ExecutionContext` (serial,
+    no cache, silent, fail-fast).  ``jobs <= 1`` runs everything inline
+    in this process — byte-for-byte today's serial behavior;
+    ``jobs > 1`` fans cache misses out over that many worker processes.
+    ``progress`` is called once per result; in parallel mode the call
+    order follows completion order, not task order.
 
     Tasks carrying telemetry options always execute (never served from
     or stored into the cache); their
     :class:`~repro.obs.telemetry.RunTelemetry` is delivered through
     ``telemetry_sink(task_index, telemetry)`` while the returned list
     still holds plain results at every position.
+
+    Without a failure policy, the first task exception propagates (the
+    historical contract).  With one — installed explicitly, through the
+    ambient context, or implicitly by a ``$REPRO_FAULTS`` plan — the
+    batch runs resiliently: failed tasks are retried then quarantined
+    (``None`` in the returned list) and the sweep always terminates;
+    use :func:`run_batch_report` to also get the failure manifest.
     """
+    resolved = resolve_resilience(resilience)
+    if resolved is None and plan_from_env() is not None:
+        # A fault plan in the environment (the CI smoke harness) gets
+        # the default failure policy, else injected faults would simply
+        # crash the sweep they are meant to exercise.
+        resolved = ResilienceOptions()
+    if resolved is not None:
+        return _ResilientBatch(list(tasks), resolve_jobs(jobs),
+                               resolve_cache(cache),
+                               resolve_progress(progress),
+                               telemetry_sink, resolved).run().results
+
     tasks = list(tasks)
     n_jobs = resolve_jobs(jobs)
     cache = resolve_cache(cache)
@@ -157,13 +284,17 @@ def run_batch(tasks: Sequence[SimTask],
         pending = list(range(len(tasks)))
 
     if not pending:
-        return results  # type: ignore[return-value]
+        return results
 
     def record(index: int, outcome) -> None:
         if tasks[index].telemetry is not None:
             result = outcome.result
             if telemetry_sink is not None:
                 telemetry_sink(index, outcome)
+        elif type(outcome) is TruncatedResult:
+            # Partial metrics from a tripped budget: usable, never
+            # memoized as the point's true result.
+            result = outcome.result
         else:
             result = outcome
             if cache is not None:
@@ -175,7 +306,7 @@ def run_batch(tasks: Sequence[SimTask],
     if n_jobs <= 1 or len(pending) == 1:
         for index in pending:
             record(index, execute_task(tasks[index]))
-        return results  # type: ignore[return-value]
+        return results
 
     workers = min(n_jobs, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -187,4 +318,435 @@ def run_batch(tasks: Sequence[SimTask],
                                      return_when=FIRST_COMPLETED)
             for future in done:
                 record(futures[future], future.result())
-    return results  # type: ignore[return-value]
+    return results
+
+
+def run_batch_report(tasks: Sequence[SimTask],
+                     jobs: Optional[int] = None,
+                     cache: Optional[ResultCache] = None,
+                     progress: Optional[Callable[[SimulationResult], None]]
+                     = None,
+                     telemetry_sink: Optional[
+                         Callable[[int, "RunTelemetry"], None]] = None,
+                     resilience: Optional[ResilienceOptions] = None,
+                     ) -> BatchReport:
+    """:func:`run_batch` with the full :class:`~repro.resilience.\
+BatchReport` (results, failure manifest, truncations, event totals).
+
+    Always runs resiliently; ``resilience`` defaults to the ambient
+    context's options, else to ``ResilienceOptions()``.
+    """
+    resolved = resolve_resilience(resilience) or ResilienceOptions()
+    return _ResilientBatch(list(tasks), resolve_jobs(jobs),
+                           resolve_cache(cache), resolve_progress(progress),
+                           telemetry_sink, resolved).run()
+
+
+class _ResilientBatch:
+    """One resilient ``run_batch`` execution (single-use)."""
+
+    def __init__(self, tasks: List[SimTask], n_jobs: int,
+                 cache: Optional[ResultCache],
+                 progress: Optional[Callable],
+                 telemetry_sink: Optional[Callable],
+                 options: ResilienceOptions) -> None:
+        self.tasks = tasks
+        self.n_jobs = n_jobs
+        self.cache = cache
+        self.progress = progress
+        self.telemetry_sink = telemetry_sink
+        self.options = options
+        faults = options.faults if options.faults is not None \
+            else plan_from_env()
+        self.faults = faults if faults is not None else FaultPlan()
+        if options.instruments is not None:
+            self.inst = options.instruments
+        else:
+            from repro.obs.instruments import NULL_INSTRUMENTS
+            self.inst = NULL_INSTRUMENTS
+        salt = cache.salt if cache is not None else CODE_SALT
+        self.keys: List[Optional[str]] = [
+            None if task.telemetry is not None else task_key(task, salt=salt)
+            for task in tasks]
+        n = len(tasks)
+        self.results: List[Optional[SimulationResult]] = [None] * n
+        self.completed = [False] * n
+        #: Failed attempts charged so far, per task.
+        self.failures = [0] * n
+        #: Earliest monotonic time a retry may be resubmitted.
+        self.eligible_at: Dict[int, float] = {}
+        self.report = BatchReport(results=self.results)
+        self.journal: Optional[SweepJournal] = None
+        self._beacon_dir: Optional[str] = None
+        #: pid -> Process, accumulated across a pool's life so exit
+        #: codes stay readable after the executor reaps its workers.
+        self._procs: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Orchestration
+    # ------------------------------------------------------------------
+    def run(self) -> BatchReport:
+        if self.options.checkpoint is not None:
+            self.journal = SweepJournal(self.options.checkpoint, self.keys,
+                                        resume=self.options.resume)
+            self.report.checkpoint_path = str(self.journal.path)
+        try:
+            self._resume_from_journal()
+            pending = self._serve_from_cache(
+                [i for i in range(len(self.tasks)) if not self.completed[i]])
+            if pending:
+                if self.n_jobs <= 1:
+                    self._run_inline(pending)
+                else:
+                    self._run_pool(pending)
+            self.report.failures.sort(key=lambda record: record.index)
+            if self.journal is not None:
+                self.journal.close(summary={
+                    "succeeded": self.report.succeeded,
+                    "quarantined": self.report.quarantined_indices,
+                    "retries": self.report.retries,
+                    "timeouts": self.report.timeouts,
+                    "pool_rebuilds": self.report.pool_rebuilds,
+                    "truncated": [t.index for t in self.report.truncations],
+                })
+        finally:
+            if self.journal is not None:
+                self.journal.close()
+        return self.report
+
+    def _resume_from_journal(self) -> None:
+        if self.journal is None:
+            return
+        for index, result in sorted(self.journal.completed.items()):
+            if self.tasks[index].telemetry is not None:
+                continue  # telemetry artifacts are never journaled
+            self.results[index] = result
+            self.completed[index] = True
+            self.report.resumed += 1
+            self.inst.counter("resilience.resumed").inc()
+            if self.progress is not None:
+                self.progress(result)
+
+    def _serve_from_cache(self, pending: List[int]) -> List[int]:
+        if self.cache is None:
+            return pending
+        missed: List[int] = []
+        for index in pending:
+            if self.tasks[index].telemetry is not None:
+                missed.append(index)
+                continue
+            key = self.keys[index]
+            for spec in self.faults.cache_faults(index):
+                if corrupt_cache_entry(self.cache, key):
+                    self._event("cache-corruption-injected", index=index)
+            errors_before = self.cache.stats.errors
+            hit = self.cache.get(key)
+            if self.cache.stats.errors > errors_before:
+                self.report.cache_corruptions += 1
+                self.inst.counter("resilience.cache_corrupt").inc()
+                self._event("cache-entry-corrupt", index=index)
+            if hit is None:
+                missed.append(index)
+            else:
+                self._record_success(index, hit, store=False)
+        return missed
+
+    # ------------------------------------------------------------------
+    # Inline (jobs <= 1)
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending: List[int]) -> None:
+        for index in pending:
+            while True:
+                attempt = self.failures[index]
+                specs = self.faults.worker_faults(index, attempt)
+                try:
+                    apply_worker_faults(specs)
+                    outcome = execute_task(self._prepared(index))
+                except Exception as error:
+                    if self._charge(index, type(error).__name__,
+                                    str(error)):
+                        time.sleep(self._remaining_backoff(index))
+                        continue
+                    break
+                self._record_success(index, outcome)
+                break
+
+    # ------------------------------------------------------------------
+    # Process pool (jobs >= 2)
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending: List[int]) -> None:
+        queue: deque = deque(pending)
+        self._beacon_dir = tempfile.mkdtemp(prefix="repro-sweep-")
+        try:
+            while queue:
+                if self._pool_round(queue):
+                    self.report.pool_rebuilds += 1
+                    self.inst.counter("resilience.pool_rebuilds").inc()
+                    self._event("pool-rebuild")
+        finally:
+            shutil.rmtree(self._beacon_dir, ignore_errors=True)
+            self._beacon_dir = None
+
+    def _pool_round(self, queue: deque) -> bool:
+        """Run one pool until the queue drains or the pool must be
+        rebuilt (worker death / expired deadline).  Returns True when a
+        rebuild is needed; unfinished tasks are already requeued."""
+        workers = min(self.n_jobs, max(len(queue), 1))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        self._procs = {}
+        futures: Dict[Any, int] = {}
+        running_since: Dict[int, float] = {}
+        torn_down = False
+        try:
+            while queue or futures:
+                self._submit_eligible(pool, queue, futures)
+                self._procs.update(getattr(pool, "_processes", None) or {})
+                if not futures:
+                    # Everything left is backing off; nap until the
+                    # soonest task becomes eligible again.
+                    now = time.monotonic()
+                    soonest = min((self.eligible_at.get(i, now)
+                                   for i in queue), default=now)
+                    time.sleep(min(max(soonest - now, 0.0),
+                                   self.options.poll_interval * 10))
+                    continue
+                poll = self.options.poll_interval \
+                    if (self.options.task_timeout is not None or queue) \
+                    else None
+                done, _ = wait(set(futures), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+                for future, index in futures.items():
+                    if future not in done and index not in running_since \
+                            and future.running():
+                        running_since[index] = time.monotonic()
+                broken = False
+                for future in done:
+                    index = futures.pop(future)
+                    running_since.pop(index, None)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        futures[future] = index
+                        broken = True
+                        break
+                    except Exception as error:
+                        if self._charge(index, type(error).__name__,
+                                        str(error)):
+                            queue.append(index)
+                    else:
+                        self._record_success(index, outcome)
+                if broken:
+                    self._handle_broken(pool, futures, queue)
+                    torn_down = True
+                    return True
+                if self._expire_deadlines(pool, futures, running_since,
+                                          queue):
+                    torn_down = True
+                    return True
+            return False
+        finally:
+            if not torn_down:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    def _submit_eligible(self, pool, queue: deque,
+                         futures: Dict[Any, int]) -> None:
+        now = time.monotonic()
+        for _ in range(len(queue)):
+            index = queue.popleft()
+            if self.eligible_at.get(index, 0.0) > now:
+                queue.append(index)  # still backing off; rotate
+                continue
+            specs = self.faults.worker_faults(index, self.failures[index])
+            future = pool.submit(_execute_guarded, self._prepared(index),
+                                 index, specs, self._beacon_dir)
+            futures[future] = index
+
+    def _expire_deadlines(self, pool, futures: Dict[Any, int],
+                          running_since: Dict[int, float],
+                          queue: deque) -> bool:
+        """Charge tasks running past ``task_timeout``; on any expiry the
+        pool (which cannot preempt a worker) is torn down and rebuilt,
+        requeueing the innocent in-flight tasks uncharged."""
+        timeout = self.options.task_timeout
+        if timeout is None:
+            return False
+        now = time.monotonic()
+        expired = {index for index, started in running_since.items()
+                   if now - started >= timeout}
+        if not expired:
+            return False
+        for index in sorted(expired):
+            self.report.timeouts += 1
+            self.inst.counter("resilience.timeouts").inc()
+            self._event("timeout", index=index,
+                        attempt=self.failures[index])
+            if self._charge(index, ERROR_TIMEOUT,
+                            f"ran past the {timeout:g}s task deadline"):
+                queue.append(index)
+        for future, index in futures.items():
+            future.cancel()
+            if index not in expired:
+                queue.append(index)
+        self._teardown(pool)
+        return True
+
+    def _handle_broken(self, pool, futures: Dict[Any, int],
+                       queue: deque) -> None:
+        """A worker died.  Identify the task(s) it was running via the
+        beacons + abnormal exit codes, charge only those, and requeue
+        every other in-flight task uncharged."""
+        self._procs.update(getattr(pool, "_processes", None) or {})
+        self._teardown(pool, terminate=False)
+        abnormal = self._abnormal_pids()
+        started = self._read_beacons()
+        outstanding = set(futures.values())
+        culprits = {index for index, pid in started.items()
+                    if pid in abnormal and index in outstanding}
+        if not culprits:
+            # Degraded attribution: charge whatever had started; as a
+            # last resort, everything in flight (guarantees progress).
+            culprits = {index for index in started
+                        if index in outstanding} or set(outstanding)
+        self._clear_beacons()
+        for index in sorted(outstanding):
+            if index in culprits:
+                self._event("worker-died", index=index,
+                            attempt=self.failures[index])
+                if self._charge(index, ERROR_WORKER_DIED,
+                                "worker process died while running "
+                                "this task (process pool broken)"):
+                    queue.append(index)
+            else:
+                queue.append(index)
+
+    # ------------------------------------------------------------------
+    # Pool teardown helpers
+    # ------------------------------------------------------------------
+    def _teardown(self, pool, terminate: bool = True) -> None:
+        procs = dict(self._procs)
+        procs.update(getattr(pool, "_processes", None) or {})
+        self._procs = procs
+        if terminate:
+            for proc in procs.values():
+                try:
+                    proc.terminate()
+                except Exception:  # already dead / already reaped
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        deadline = time.monotonic() + _TEARDOWN_GRACE
+        for proc in procs.values():
+            try:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def _abnormal_pids(self) -> Set[int]:
+        """Workers that died on their own (not the executor's SIGTERM)."""
+        abnormal: Set[int] = set()
+        sigterm = -int(getattr(signal, "SIGTERM", 15))
+        for pid, proc in self._procs.items():
+            code = getattr(proc, "exitcode", None)
+            if code is not None and code not in (0, sigterm):
+                abnormal.add(pid)
+        return abnormal
+
+    def _read_beacons(self) -> Dict[int, int]:
+        """Surviving beacons: task index -> worker pid."""
+        started: Dict[int, int] = {}
+        if not self._beacon_dir:
+            return started
+        try:
+            names = os.listdir(self._beacon_dir)
+        except OSError:
+            return started
+        for name in names:
+            if not name.startswith("running-"):
+                continue
+            try:
+                index = int(name.split("-", 1)[1])
+                pid = int(Path(self._beacon_dir, name).read_text("ascii"))
+            except (ValueError, OSError):
+                continue
+            started[index] = pid
+        return started
+
+    def _clear_beacons(self) -> None:
+        if not self._beacon_dir:
+            return
+        try:
+            for name in os.listdir(self._beacon_dir):
+                try:
+                    os.remove(os.path.join(self._beacon_dir, name))
+                except OSError:
+                    pass
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _prepared(self, index: int) -> SimTask:
+        task = self.tasks[index]
+        if task.budget is None and self.options.budget is not None:
+            return replace(task, budget=self.options.budget)
+        return task
+
+    def _remaining_backoff(self, index: int) -> float:
+        return max(0.0, self.eligible_at.get(index, 0.0) - time.monotonic())
+
+    def _charge(self, index: int, error: str, message: str) -> bool:
+        """Record one failed attempt; True when the task may retry."""
+        self.failures[index] += 1
+        attempts = self.failures[index]
+        policy = self.options.retry
+        if attempts > policy.max_retries:
+            record = FailureRecord(
+                index=index, key=self.keys[index], error=error,
+                message=message, attempts=attempts)
+            self.report.failures.append(record)
+            self.inst.counter("resilience.quarantined").inc()
+            if self.journal is not None:
+                self.journal.record_quarantined(record)
+            return False
+        delay = policy.delay_for(attempts,
+                                 token=self.keys[index] or f"task-{index}")
+        self.eligible_at[index] = time.monotonic() + delay
+        self.report.retries += 1
+        self.inst.counter("resilience.retries").inc()
+        self._event("retry", index=index, attempt=attempts, error=error,
+                    delay=round(delay, 4))
+        return True
+
+    def _record_success(self, index: int, outcome: Any,
+                        store: bool = True) -> None:
+        truncation: Optional[TruncationRecord] = None
+        if self.tasks[index].telemetry is not None:
+            result = outcome.result
+            if self.telemetry_sink is not None:
+                self.telemetry_sink(index, outcome)
+        elif type(outcome) is TruncatedResult:
+            truncation = TruncationRecord(
+                index=index, key=self.keys[index], reason=outcome.reason,
+                events_executed=outcome.events_executed,
+                wall_seconds=outcome.wall_seconds)
+            self.report.truncations.append(truncation)
+            self.inst.counter("resilience.truncated").inc()
+            result = outcome.result  # partial metrics; never cached
+        else:
+            result = outcome
+            if store and self.cache is not None:
+                self.cache.put(self.keys[index], result)
+        if self.journal is not None and self.keys[index] is not None:
+            self.journal.record_completed(index, self.failures[index] + 1,
+                                          result, truncation=truncation)
+        self.results[index] = result
+        self.completed[index] = True
+        if self.progress is not None:
+            self.progress(result)
+
+    def _event(self, event: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal.record_event(event, **fields)

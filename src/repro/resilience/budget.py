@@ -1,0 +1,147 @@
+"""Per-task execution budgets.
+
+The paper's central experiments probe behavior *near and past
+saturation* — exactly the regime where an open-system run can grow its
+event heap without bound (arrivals outpace completions, the population
+check only fires on spawn) and a sweep point can effectively run
+forever.  A :class:`TaskBudget` bounds one run two ways:
+
+* ``max_events`` — a cap on executed simulation events, checked after
+  every event.  Deterministic: the same configuration and cap always
+  truncate at the same event.
+* ``wall_seconds`` — a wall-clock deadline, checked every
+  ``check_interval`` events so the monotonic-clock read stays off the
+  per-event hot path.  Non-deterministic by nature, intended as the
+  in-worker backstop against stalls.
+
+A tripped budget does not raise: the drivers stop the simulation,
+summarize whatever was measured (flagged ``overflowed`` — the paper's
+saturation signal) and wrap it in a :class:`TruncatedResult` so callers
+can tell a truncated run from a completed one.  Budgets default to
+``None`` everywhere; the fault-free fast path is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.metrics import SimulationResult
+
+#: ``TruncatedResult.reason`` values.
+REASON_EVENT_CAP = "event-cap"
+REASON_WALL_DEADLINE = "wall-deadline"
+
+
+@dataclass(frozen=True)
+class TaskBudget:
+    """Execution bounds for one simulation run.
+
+    ``None`` fields are unenforced; a budget with both fields ``None``
+    is rejected (it would silently guard nothing).
+    """
+
+    wall_seconds: Optional[float] = None
+    max_events: Optional[int] = None
+    #: Events between wall-clock checks (the event cap is exact).
+    check_interval: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds is None and self.max_events is None:
+            raise ConfigurationError(
+                "a TaskBudget needs wall_seconds and/or max_events; "
+                "use budget=None for an unbounded run")
+        if self.wall_seconds is not None and not (
+                isinstance(self.wall_seconds, (int, float))
+                and math.isfinite(self.wall_seconds)
+                and self.wall_seconds > 0):
+            raise ConfigurationError(
+                f"wall_seconds must be a positive finite number, got "
+                f"{self.wall_seconds!r}")
+        if self.max_events is not None and self.max_events < 1:
+            raise ConfigurationError(
+                f"max_events must be >= 1, got {self.max_events!r}")
+        if self.check_interval < 1:
+            raise ConfigurationError(
+                f"check_interval must be >= 1, got {self.check_interval!r}")
+
+
+class BudgetGuard:
+    """Enforces a :class:`TaskBudget` from a ``stop_when`` predicate.
+
+    The DES drivers call :meth:`exceeded` once per executed event (it is
+    folded into the run's stop predicate), so ``events`` counts executed
+    events without touching the engine.
+    """
+
+    __slots__ = ("budget", "events", "reason", "_deadline", "_next_check",
+                 "_started")
+
+    def __init__(self, budget: TaskBudget) -> None:
+        self.budget = budget
+        self.events = 0
+        #: Why the budget tripped (None while within budget).
+        self.reason: Optional[str] = None
+        self._started = time.monotonic()
+        self._deadline = (self._started + budget.wall_seconds
+                          if budget.wall_seconds is not None else None)
+        self._next_check = budget.check_interval
+
+    @property
+    def tripped(self) -> bool:
+        return self.reason is not None
+
+    def elapsed(self) -> float:
+        """Wall seconds since the guard was armed."""
+        return time.monotonic() - self._started
+
+    def exceeded(self) -> bool:
+        """Count one executed event; True once the budget is spent."""
+        if self.reason is not None:
+            return True
+        self.events += 1
+        budget = self.budget
+        if budget.max_events is not None and self.events >= budget.max_events:
+            self.reason = REASON_EVENT_CAP
+            return True
+        if self._deadline is not None and self.events >= self._next_check:
+            self._next_check = self.events + budget.check_interval
+            if time.monotonic() >= self._deadline:
+                self.reason = REASON_WALL_DEADLINE
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class TruncatedResult:
+    """A run the budget stopped before its operation target.
+
+    ``result`` is the partial :class:`~repro.simulator.metrics.\
+SimulationResult` summarized at truncation time, with ``overflowed``
+    set — a budget trip in this workload regime is saturation-suspected,
+    and the flag routes the point through the same pooled-mean handling
+    as the paper's population-overflow signal.
+    """
+
+    result: "SimulationResult"
+    reason: str
+    events_executed: int
+    wall_seconds: float
+
+    @property
+    def saturation_suspected(self) -> bool:
+        """A truncated run means the offered load outran the budget —
+        the symptom the paper associates with operating past the
+        throughput limit."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TruncatedResult(reason={self.reason!r}, "
+                f"events={self.events_executed}, "
+                f"wall={self.wall_seconds:.3f}s, "
+                f"seed={self.result.seed})")

@@ -1,0 +1,288 @@
+"""Deterministic fault injection for the resilience test harness.
+
+A :class:`FaultPlan` is a picklable set of :class:`FaultSpec`\\ s that
+name *where* (a task index in the batch, or a solver) and *when* (which
+retry attempts) a failure fires.  The plan travels to worker processes
+inside the submitted call, so it works under any multiprocessing start
+method, and it round-trips through the ``REPRO_FAULTS`` environment
+variable so the CI smoke job can drive a stock ``btree-perf`` sweep
+through the same failures.
+
+Fault kinds
+-----------
+
+``kill-worker``
+    The worker process hosting the task exits hard (``os._exit``),
+    which breaks the whole ``ProcessPoolExecutor`` — the harshest
+    failure the executor must absorb.  Inline (``jobs<=1``) runs raise
+    :class:`~repro.errors.InjectedFaultError` instead, so the calling
+    process survives.
+``stall-task``
+    The worker sleeps ``seconds`` before running the task, simulating a
+    hang the in-simulation budget cannot see; only the executor's
+    parent-side ``task_timeout`` can clear it.
+``corrupt-cache-entry``
+    The task's on-disk cache entry is overwritten with a payload whose
+    checksum cannot verify, exercising the corrupt-entry-degrades-to-
+    miss path inside a real sweep.
+``inject-nan``
+    The next ``count`` fixed-point evaluations in
+    :func:`repro.model.rwqueue.solve_rw_queue` return NaN, exercising
+    the solver's divergence guards (installed per-process via
+    :func:`nan_faults`).
+
+All faults are deterministic: they key off task index and attempt
+number, never off timing or randomness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError, InjectedFaultError
+
+#: Fault kinds (the ISSUE's harness vocabulary).
+KILL_WORKER = "kill-worker"
+STALL_TASK = "stall-task"
+CORRUPT_CACHE = "corrupt-cache-entry"
+INJECT_NAN = "inject-nan"
+
+_KINDS = (KILL_WORKER, STALL_TASK, CORRUPT_CACHE, INJECT_NAN)
+
+#: Environment variable carrying an encoded plan into CLI runs.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exit status of a worker killed by the harness (diagnostic only).
+KILL_EXIT_CODE = 87
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic failure.
+
+    ``attempts`` lists the retry-attempt numbers (0 = first try) on
+    which the fault fires; ``None`` means every attempt — the shape of
+    a *persistent* fault that retries cannot clear, where the default
+    ``(0,)`` models a *transient* one.
+    """
+
+    kind: str
+    task_index: Optional[int] = None
+    attempts: Optional[Tuple[int, ...]] = (0,)
+    #: Stall duration (``stall-task`` only).
+    seconds: float = 30.0
+    #: How many evaluations to poison (``inject-nan`` only; -1 = all).
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(_KINDS)}")
+        if self.kind in (KILL_WORKER, STALL_TASK, CORRUPT_CACHE) \
+                and self.task_index is None:
+            raise ConfigurationError(
+                f"{self.kind} faults need a task_index")
+        if self.seconds < 0:
+            raise ConfigurationError(
+                f"stall seconds must be >= 0, got {self.seconds}")
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.attempts is None or attempt in self.attempts
+
+    def encode(self) -> str:
+        """``kind@index#attempts~seconds`` (omitting defaulted parts)."""
+        parts = [self.kind]
+        if self.task_index is not None:
+            parts.append(f"@{self.task_index}")
+        if self.attempts is None:
+            parts.append("#*")
+        elif self.attempts != (0,):
+            parts.append("#" + "+".join(str(a) for a in self.attempts))
+        if self.kind == STALL_TASK and self.seconds != 30.0:
+            parts.append(f"~{self.seconds:g}")
+        if self.kind == INJECT_NAN and self.count != 1:
+            parts.append(f"x{self.count}")
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable collection of :class:`FaultSpec`\\ s."""
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def worker_faults(self, index: int, attempt: int) -> Tuple[FaultSpec, ...]:
+        """Kill/stall faults that fire for task ``index`` at ``attempt``."""
+        return tuple(s for s in self.specs
+                     if s.kind in (KILL_WORKER, STALL_TASK)
+                     and s.task_index == index and s.fires_on(attempt))
+
+    def cache_faults(self, index: int) -> Tuple[FaultSpec, ...]:
+        """Cache-corruption faults targeting task ``index``."""
+        return tuple(s for s in self.specs
+                     if s.kind == CORRUPT_CACHE and s.task_index == index)
+
+    def nan_faults(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind == INJECT_NAN)
+
+    def encode(self) -> str:
+        """Round-trippable text form for :data:`FAULTS_ENV`."""
+        return ";".join(spec.encode() for spec in self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`encode`; raises
+        :class:`~repro.errors.ConfigurationError` on malformed specs."""
+        specs = []
+        for chunk in filter(None, (p.strip() for p in text.split(";"))):
+            specs.append(_parse_spec(chunk))
+        return cls(specs=tuple(specs))
+
+
+def _parse_spec(chunk: str) -> FaultSpec:
+    original = chunk
+    count = 1
+    if "x" in chunk:
+        chunk, _, count_text = chunk.rpartition("x")
+        count = _parse_int(count_text, original, "count")
+    seconds = 30.0
+    if "~" in chunk:
+        chunk, _, seconds_text = chunk.partition("~")
+        try:
+            seconds = float(seconds_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad stall duration in fault spec {original!r}") from None
+    attempts: Optional[Tuple[int, ...]] = (0,)
+    if "#" in chunk:
+        chunk, _, attempts_text = chunk.partition("#")
+        if attempts_text == "*":
+            attempts = None
+        else:
+            attempts = tuple(_parse_int(a, original, "attempt")
+                             for a in attempts_text.split("+"))
+    index: Optional[int] = None
+    if "@" in chunk:
+        chunk, _, index_text = chunk.partition("@")
+        index = _parse_int(index_text, original, "task index")
+    return FaultSpec(kind=chunk, task_index=index, attempts=attempts,
+                     seconds=seconds, count=count)
+
+
+def _parse_int(text: str, original: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad {what} in fault spec {original!r}") from None
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan encoded in ``$REPRO_FAULTS``, or None when unset/empty."""
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return None
+    return FaultPlan.parse(text)
+
+
+# ----------------------------------------------------------------------
+# Worker-side application (kill / stall)
+# ----------------------------------------------------------------------
+def apply_worker_faults(specs: Tuple[FaultSpec, ...]) -> None:
+    """Fire ``specs`` inside the process about to run the task.
+
+    Stalls run before kills so a combined spec list stalls-then-dies.
+    In a worker process a kill is a real ``os._exit`` (the parent sees
+    ``BrokenProcessPool``); inline it raises
+    :class:`~repro.errors.InjectedFaultError` instead.
+    """
+    for spec in specs:
+        if spec.kind == STALL_TASK and spec.seconds > 0:
+            time.sleep(spec.seconds)
+    for spec in specs:
+        if spec.kind == KILL_WORKER:
+            if multiprocessing.parent_process() is not None:
+                os._exit(KILL_EXIT_CODE)
+            raise InjectedFaultError(
+                f"kill-worker fault fired inline for task "
+                f"{spec.task_index}")
+
+
+# ----------------------------------------------------------------------
+# Cache corruption
+# ----------------------------------------------------------------------
+def corrupt_cache_entry(cache, key: str) -> bool:
+    """Overwrite ``key``'s stored payload so its checksum cannot verify.
+
+    Keeps the entry's header magic intact so the *checksum*, not the
+    format sniffing, is what catches it.  Returns False when the entry
+    does not exist (nothing to corrupt).
+    """
+    path = cache.path_for(key)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return False
+    if not blob:
+        return False
+    # Flip the final payload byte; header (if any) stays valid.
+    path.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+    return True
+
+
+# ----------------------------------------------------------------------
+# Solver NaN injection
+# ----------------------------------------------------------------------
+#: Remaining NaN evaluations to poison in this process; -1 = unlimited.
+#: Plain module state: the solvers check ``_nan_remaining`` with one
+#: integer compare, so the fault-free path costs nothing measurable.
+_nan_remaining = 0
+
+
+def consume_nan_fault() -> bool:
+    """True when the calling solver evaluation should return NaN."""
+    global _nan_remaining
+    if _nan_remaining == 0:
+        return False
+    if _nan_remaining > 0:
+        _nan_remaining -= 1
+    return True
+
+
+@contextmanager
+def nan_faults(count: int = 1) -> Iterator[None]:
+    """Poison the next ``count`` solver evaluations (-1 = all) in this
+    process; restores the previous state on exit."""
+    global _nan_remaining
+    previous = _nan_remaining
+    _nan_remaining = count
+    try:
+        yield
+    finally:
+        _nan_remaining = previous
+
+
+def install_nan_faults(plan: Optional[FaultPlan]) -> None:
+    """Arm the plan's ``inject-nan`` specs in this process (used by the
+    executor before running model-side work; tests prefer the
+    :func:`nan_faults` context manager)."""
+    global _nan_remaining
+    if plan is None:
+        _nan_remaining = 0
+        return
+    specs = plan.nan_faults()
+    if not specs:
+        _nan_remaining = 0
+    elif any(s.count < 0 for s in specs):
+        _nan_remaining = -1
+    else:
+        _nan_remaining = sum(s.count for s in specs)

@@ -42,7 +42,7 @@ _ROOT_SAMPLE_INTERVAL = 1.0
 
 def run_closed_simulation(config: SimulationConfig,
                           multiprogramming_level: int,
-                          think_time: float = 0.0) -> SimulationResult:
+                          think_time: float = 0.0, budget=None):
     """Run ``config``'s algorithm under a fixed population of
     ``multiprogramming_level`` concurrent operations.
 
@@ -51,6 +51,11 @@ def run_closed_simulation(config: SimulationConfig,
     takes between operations (0 = back-to-back).  The returned
     :class:`~repro.simulator.metrics.SimulationResult` reports the
     achieved throughput — the closed system's primary output.
+
+    ``budget`` (a :class:`~repro.resilience.TaskBudget`) bounds the run
+    as in :func:`~repro.simulator.driver.run_simulation`: a tripped
+    budget returns a :class:`~repro.resilience.TruncatedResult` with
+    the partial metrics flagged ``overflowed``.
     """
     if multiprogramming_level < 1:
         raise ConfigurationError(
@@ -128,12 +133,29 @@ def run_closed_simulation(config: SimulationConfig,
     sim.spawn(root_sampler(), name="root-sampler")
     metrics.note_population(multiprogramming_level)
 
-    sim.run(stop_when=lambda: metrics.measured_operations >= target)
+    def done() -> bool:
+        return metrics.measured_operations >= target
+
+    guard = None
+    if budget is None:
+        sim.run(stop_when=done)
+    else:
+        from repro.resilience.budget import BudgetGuard
+        guard = BudgetGuard(budget)
+        # exceeded() runs first so every executed event is counted.
+        sim.run(stop_when=lambda: guard.exceeded() or done())
     metrics.measure_end_time = sim.now
 
-    return summarize(
+    tripped = guard is not None and guard.tripped
+    result = summarize(
         metrics, algorithm=config.algorithm,
         arrival_rate=float("nan"),  # no open arrival stream
-        seed=config.seed, overflowed=False,
+        seed=config.seed, overflowed=tripped,
         tree_size=len(tree), tree_height=tree.height,
     )
+    if tripped:
+        from repro.resilience.budget import TruncatedResult
+        return TruncatedResult(result=result, reason=guard.reason,
+                               events_executed=guard.events,
+                               wall_seconds=guard.elapsed())
+    return result

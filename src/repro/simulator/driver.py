@@ -91,7 +91,7 @@ class _RunState:
 
 
 def run_simulation(config: SimulationConfig, trace=None,
-                   telemetry=None) -> SimulationResult:
+                   telemetry=None, budget=None):
     """Execute one simulator run and return its metrics summary.
 
     Pass a :class:`~repro.des.trace.TraceLog` as ``trace`` to record
@@ -102,6 +102,15 @@ def run_simulation(config: SimulationConfig, trace=None,
     response timer; the recorder's ``telemetry`` attribute holds the
     finished :class:`~repro.obs.telemetry.RunTelemetry` afterwards
     (``docs/observability.md``).
+
+    Pass a :class:`~repro.resilience.TaskBudget` as ``budget`` to bound
+    the run by executed events and/or wall clock; a tripped budget
+    stops the simulation and returns a
+    :class:`~repro.resilience.TruncatedResult` wrapping the partial
+    metrics summarized at truncation time, flagged ``overflowed`` (a
+    budget trip in this regime is saturation-suspected).  Without a
+    budget the return type is a plain :class:`SimulationResult` and
+    behavior is unchanged (see ``docs/robustness.md``).
     """
     module = get_algorithm(config.algorithm).ops
 
@@ -206,17 +215,30 @@ def run_simulation(config: SimulationConfig, trace=None,
     def done() -> bool:
         return (metrics.measured_operations >= target) or state.overflowed
 
-    sim.run(stop_when=done)
+    guard = None
+    if budget is None:
+        sim.run(stop_when=done)
+    else:
+        from repro.resilience.budget import BudgetGuard
+        guard = BudgetGuard(budget)
+        # exceeded() runs first so every executed event is counted.
+        sim.run(stop_when=lambda: guard.exceeded() or done())
     metrics.measure_end_time = sim.now
 
+    tripped = guard is not None and guard.tripped
     result = summarize(
         metrics, algorithm=config.algorithm,
         arrival_rate=config.arrival_rate, seed=config.seed,
-        overflowed=state.overflowed, tree_size=len(tree),
+        overflowed=state.overflowed or tripped, tree_size=len(tree),
         tree_height=tree.height,
     )
     if telemetry is not None:
         telemetry.finalize(result)
+    if tripped:
+        from repro.resilience.budget import TruncatedResult
+        return TruncatedResult(result=result, reason=guard.reason,
+                               events_executed=guard.events,
+                               wall_seconds=guard.elapsed())
     return result
 
 
@@ -259,11 +281,14 @@ def run_replications(config: SimulationConfig,
                      jobs=jobs, cache=cache, progress=progress)
 
 
-def pooled_response_means(results: Sequence[SimulationResult]
+def pooled_response_means(results: Sequence[Optional[SimulationResult]]
                           ) -> Dict[str, float]:
     """Average each operation's mean response over non-overflowed runs;
-    +inf when every replication overflowed (saturated setting)."""
-    usable = [r for r in results if not r.overflowed]
+    +inf when every replication overflowed (saturated setting).
+
+    ``None`` entries (quarantined tasks from a resilient sweep) are
+    skipped, like overflowed runs."""
+    usable = [r for r in results if r is not None and not r.overflowed]
     if not usable:
         return {OP_SEARCH: math.inf, OP_INSERT: math.inf,
                 OP_DELETE: math.inf}

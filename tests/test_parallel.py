@@ -151,6 +151,53 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.stats.errors == 1
 
+    def test_truncated_entry_is_a_miss_not_a_crash(self, tmp_path):
+        # Regression: a crash mid-write (or torn copy) must degrade to
+        # a miss.  The checksum header catches any truncation point.
+        cache = ResultCache(tmp_path)
+        [expected] = run_batch([SimTask(_quick())], cache=cache)
+        key = SimTask(_quick()).cache_key(cache)
+        path = cache.path_for(key)
+        blob = path.read_bytes()
+        for cut in (1, len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            fresh = ResultCache(tmp_path)
+            assert fresh.get(key) is None
+            assert fresh.stats.errors == 1
+        # Garbage of the right length fails the checksum too.
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(bytes(len(blob)))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+
+    def test_checksum_catches_single_bit_flip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [expected] = run_batch([SimTask(_quick())], cache=cache)
+        key = SimTask(_quick()).cache_key(cache)
+        path = cache.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01  # bit rot in the payload tail
+        path.write_bytes(bytes(blob))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.errors == 1
+        # A recompute round-trips through the checksummed format.
+        [recovered] = run_batch([SimTask(_quick())], cache=fresh)
+        assert recovered == expected
+        assert ResultCache(tmp_path).get(key) == expected
+
+    def test_legacy_headerless_entry_still_loads(self, tmp_path):
+        # Entries written before the checksum header must remain
+        # readable (no CODE_SALT bump accompanied the format change).
+        cache = ResultCache(tmp_path)
+        [expected] = run_batch([SimTask(_quick())], cache=cache)
+        key = SimTask(_quick()).cache_key(cache)
+        cache.path_for(key).write_bytes(
+            pickle.dumps(expected, protocol=pickle.HIGHEST_PROTOCOL))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == expected
+        assert fresh.stats.errors == 0
+
     def test_clear_empties_the_cache(self, tmp_path):
         cache = ResultCache(tmp_path)
         run_replications(_quick(), n_seeds=2, cache=cache)

@@ -1,0 +1,283 @@
+"""Unit tests for the repro.resilience building blocks."""
+
+from __future__ import annotations
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.resilience import (
+    REASON_EVENT_CAP,
+    REASON_WALL_DEADLINE,
+    BatchReport,
+    BudgetGuard,
+    FailureRecord,
+    FaultPlan,
+    FaultSpec,
+    KILL_WORKER,
+    INJECT_NAN,
+    STALL_TASK,
+    CORRUPT_CACHE,
+    ResilienceOptions,
+    RetryPolicy,
+    SweepJournal,
+    TaskBudget,
+    TruncatedResult,
+    read_manifest,
+)
+from repro.resilience.manifest import keys_digest
+from repro.simulator.config import SimulationConfig
+from repro.simulator.driver import run_simulation
+
+
+def _quick(**overrides) -> SimulationConfig:
+    defaults = dict(algorithm="naive-lock-coupling", arrival_rate=0.15,
+                    n_items=2_000, n_operations=150, warmup_operations=20,
+                    seed=7)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+class TestTaskBudget:
+
+    def test_empty_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskBudget()
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskBudget(wall_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            TaskBudget(wall_seconds=math.inf)
+        with pytest.raises(ConfigurationError):
+            TaskBudget(max_events=0)
+        with pytest.raises(ConfigurationError):
+            TaskBudget(max_events=100, check_interval=0)
+
+    def test_event_cap_is_exact(self):
+        guard = BudgetGuard(TaskBudget(max_events=5))
+        fired = [guard.exceeded() for _ in range(7)]
+        assert fired == [False] * 4 + [True] * 3
+        assert guard.tripped
+        assert guard.reason == REASON_EVENT_CAP
+        assert guard.events == 5  # counting stops at the cap
+
+    def test_wall_deadline_checked_at_interval(self):
+        guard = BudgetGuard(TaskBudget(wall_seconds=1e-6,
+                                       check_interval=10))
+        # The clock is already past the (tiny) deadline, but the check
+        # only runs every 10 events.
+        assert not any(guard.exceeded() for _ in range(9))
+        assert guard.exceeded()
+        assert guard.reason == REASON_WALL_DEADLINE
+
+    def test_untripped_guard(self):
+        guard = BudgetGuard(TaskBudget(max_events=1000))
+        assert not guard.exceeded()
+        assert not guard.tripped
+        assert guard.reason is None
+        assert guard.elapsed() >= 0.0
+
+
+class TestBudgetedSimulation:
+
+    def test_event_cap_truncates_run(self):
+        outcome = run_simulation(_quick(), budget=TaskBudget(max_events=500))
+        assert isinstance(outcome, TruncatedResult)
+        assert outcome.reason == REASON_EVENT_CAP
+        assert outcome.events_executed == 500
+        assert outcome.result.overflowed  # saturation-suspected flag
+        assert outcome.saturation_suspected
+
+    def test_roomy_budget_changes_nothing(self):
+        plain = run_simulation(_quick())
+        budgeted = run_simulation(_quick(),
+                                  budget=TaskBudget(max_events=10 ** 9))
+        assert budgeted == plain  # full SimulationResult equality
+
+    def test_closed_run_respects_budget(self):
+        from repro.simulator.closed import run_closed_simulation
+        outcome = run_closed_simulation(_quick(n_operations=100), 5,
+                                        budget=TaskBudget(max_events=200))
+        assert isinstance(outcome, TruncatedResult)
+        assert outcome.result.overflowed
+
+    def test_truncated_result_is_picklable(self):
+        import dataclasses
+        outcome = run_simulation(_quick(), budget=TaskBudget(max_events=300))
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.reason == outcome.reason
+        # repr-compare: partial metrics legitimately contain NaN, and
+        # NaN != NaN would fail dataclass equality.
+        assert repr(dataclasses.asdict(clone.result)) == \
+            repr(dataclasses.asdict(outcome.result))
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+
+    def test_encode_parse_round_trip(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=3, attempts=None),
+            FaultSpec(kind=STALL_TASK, task_index=7, seconds=0.5),
+            FaultSpec(kind=CORRUPT_CACHE, task_index=2),
+            FaultSpec(kind=INJECT_NAN, count=-1),
+            FaultSpec(kind=KILL_WORKER, task_index=1, attempts=(0, 2)),
+        ))
+        assert FaultPlan.parse(plan.encode()) == plan
+
+    def test_env_round_trip(self, monkeypatch):
+        from repro.resilience import FAULTS_ENV, plan_from_env
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=0, attempts=None),))
+        monkeypatch.setenv(FAULTS_ENV, plan.encode())
+        assert plan_from_env() == plan
+        monkeypatch.setenv(FAULTS_ENV, "")
+        assert plan_from_env() is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="set-on-fire", task_index=0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("kill-worker")  # needs a task index
+
+    def test_attempt_selection(self):
+        transient = FaultSpec(kind=KILL_WORKER, task_index=0)
+        persistent = FaultSpec(kind=KILL_WORKER, task_index=0,
+                               attempts=None)
+        assert transient.fires_on(0) and not transient.fires_on(1)
+        assert persistent.fires_on(0) and persistent.fires_on(5)
+        plan = FaultPlan(specs=(transient,))
+        assert plan.worker_faults(0, 0) == (transient,)
+        assert plan.worker_faults(0, 1) == ()
+        assert plan.worker_faults(1, 0) == ()
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_cap=0.3, jitter=0.0)
+        delays = [policy.delay_for(a) for a in (1, 2, 3, 4)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.3)  # capped
+        assert delays[3] == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_per_token(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5)
+        a = policy.delay_for(1, token="alpha")
+        b = policy.delay_for(1, token="beta")
+        assert a == policy.delay_for(1, token="alpha")
+        assert a != b  # different tokens spread out
+
+    def test_options_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResilienceOptions(task_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceOptions(task_timeout=math.nan)
+        with pytest.raises(ConfigurationError):
+            ResilienceOptions(resume=True)  # resume needs a checkpoint
+        ResilienceOptions(checkpoint=tmp_path / "j.ndjson", resume=True)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+class TestSweepJournal:
+
+    def test_write_and_replay(self, tmp_path):
+        path = tmp_path / "sweep.ndjson"
+        keys = ["k0", "k1", "k2"]
+        with SweepJournal(path, keys) as journal:
+            journal.record_completed(0, attempts=1, result={"x": 1})
+            journal.record_quarantined(FailureRecord(
+                index=1, key="k1", error="Boom", message="no", attempts=3))
+            journal.record_event("retry", index=1, attempt=1)
+        resumed = SweepJournal(path, keys, resume=True)
+        try:
+            assert resumed.completed == {0: {"x": 1}}
+            assert resumed.prior_failures == {1: "Boom"}
+        finally:
+            resumed.close()
+
+    def test_task_list_mismatch_refused(self, tmp_path):
+        path = tmp_path / "sweep.ndjson"
+        SweepJournal(path, ["a", "b"]).close()
+        with pytest.raises(CheckpointError):
+            SweepJournal(path, ["a", "different"], resume=True)
+        with pytest.raises(CheckpointError):
+            SweepJournal(path, ["a", "b", "c"], resume=True)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.ndjson"
+        keys = ["k0", "k1"]
+        with SweepJournal(path, keys) as journal:
+            journal.record_completed(0, attempts=1, result=41)
+            journal.record_completed(1, attempts=1, result=42)
+        # Simulate a crash mid-append: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[:len(text) - 25])
+        resumed = SweepJournal(path, keys, resume=True)
+        try:
+            assert resumed.completed == {0: 41}  # task 1 recomputes
+        finally:
+            resumed.close()
+
+    def test_non_journal_file_refused(self, tmp_path):
+        path = tmp_path / "not-a-journal.ndjson"
+        path.write_text("hello world\n")
+        with pytest.raises(CheckpointError):
+            SweepJournal(path, ["a"], resume=True)
+
+    def test_read_manifest_view(self, tmp_path):
+        path = tmp_path / "sweep.ndjson"
+        with SweepJournal(path, ["k0", "k1"]) as journal:
+            journal.record_completed(0, attempts=2, result=1.5)
+            journal.record_quarantined(FailureRecord(
+                index=1, key="k1", error="WorkerDied", message="rip",
+                attempts=2))
+        manifest = read_manifest(path)
+        assert manifest["completed"] == [0]
+        assert manifest["quarantined"] == [1]
+        assert manifest["header"]["n_tasks"] == 2
+        # The manifest view never exposes the pickled payload.
+        assert "result" not in manifest["tasks"][0]
+
+    def test_digest_is_order_sensitive(self):
+        assert keys_digest(["a", "b"]) != keys_digest(["b", "a"])
+        assert keys_digest([None, "a"]) != keys_digest(["a", None])
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+class TestBatchReport:
+
+    def test_summary_mentions_quarantine(self):
+        report = BatchReport(results=[object(), None])
+        report.failures.append(FailureRecord(
+            index=1, key="k", error="Boom", message="m", attempts=3))
+        report.retries = 2
+        assert report.succeeded == 1
+        assert not report.ok
+        assert report.quarantined_indices == [1]
+        text = report.summary()
+        assert "1/2 tasks succeeded" in text
+        assert "quarantined: 1" in text
+
+    def test_clean_report_is_ok(self):
+        report = BatchReport(results=[object()])
+        assert report.ok
+        assert report.summary() == "1/1 tasks succeeded"

@@ -1,0 +1,325 @@
+"""Fault-injection tests: the sweep stack under hostile conditions.
+
+Every fault here is deterministic (keyed off task index + attempt), so
+these tests exercise real worker deaths, stalls, cache corruption and
+poisoned solvers without flakiness.  The acceptance scenario at the
+bottom is the one the CI fault-smoke job mirrors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.obs.instruments import Instrumentation
+from repro.parallel import (
+    ResultCache,
+    SimTask,
+    execution,
+    run_batch,
+    run_batch_report,
+)
+from repro.resilience import (
+    ERROR_TIMEOUT,
+    ERROR_WORKER_DIED,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    KILL_WORKER,
+    STALL_TASK,
+    CORRUPT_CACHE,
+    ResilienceOptions,
+    RetryPolicy,
+    TaskBudget,
+    read_manifest,
+)
+from repro.simulator.config import SimulationConfig
+
+#: Fast options shared by the pool tests.
+_FAST_RETRY = RetryPolicy(max_retries=1, backoff_base=0.01,
+                          backoff_cap=0.05, jitter=0.0)
+
+
+def _quick(**overrides) -> SimulationConfig:
+    defaults = dict(algorithm="naive-lock-coupling", arrival_rate=0.15,
+                    n_items=2_000, n_operations=150, warmup_operations=20,
+                    seed=7)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def _tasks(n: int, start_seed: int = 100):
+    return [SimTask(_quick(seed=start_seed + i)) for i in range(n)]
+
+
+def _fingerprints(results):
+    return [repr(dataclasses.asdict(r)) if r is not None else None
+            for r in results]
+
+
+# ----------------------------------------------------------------------
+# Worker death (satellite: run_batch must survive BrokenProcessPool)
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+
+    def test_transient_kill_retries_and_completes(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=1),))  # first try only
+        report = run_batch_report(
+            _tasks(4), jobs=2,
+            resilience=ResilienceOptions(retry=_FAST_RETRY, faults=plan))
+        assert report.ok
+        assert report.succeeded == 4
+        assert report.retries == 1
+        assert report.pool_rebuilds >= 1
+        # Bit-identical to an undisturbed serial run.
+        clean = run_batch(_tasks(4), jobs=1)
+        assert _fingerprints(report.results) == _fingerprints(clean)
+
+    def test_persistent_kill_quarantines_only_the_culprit(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=2, attempts=None),))
+        report = run_batch_report(
+            _tasks(6), jobs=3,
+            resilience=ResilienceOptions(retry=_FAST_RETRY, faults=plan))
+        assert report.quarantined_indices == [2]
+        assert report.succeeded == 5
+        [failure] = report.failures
+        assert failure.error == ERROR_WORKER_DIED
+        assert failure.attempts == 2  # initial try + one retry
+
+    def test_inline_kill_raises_injected_fault_not_exit(self):
+        # jobs=1 must not take the test process down with it.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=0, attempts=None),))
+        report = run_batch_report(
+            _tasks(2), jobs=1,
+            resilience=ResilienceOptions(retry=_FAST_RETRY, faults=plan))
+        assert report.quarantined_indices == [0]
+        assert report.failures[0].error == InjectedFaultError.__name__
+        assert report.results[1] is not None
+
+    def test_legacy_run_batch_returns_partial_results(self):
+        # The historical API, under a failure policy, yields None slots
+        # instead of aborting the whole sweep.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=0, attempts=None),))
+        results = run_batch(
+            _tasks(3), jobs=2,
+            resilience=ResilienceOptions(retry=_FAST_RETRY, faults=plan))
+        assert results[0] is None
+        assert all(r is not None for r in results[1:])
+
+
+# ----------------------------------------------------------------------
+# Stalls and deadlines
+# ----------------------------------------------------------------------
+class TestStallsAndDeadlines:
+
+    def test_transient_stall_cleared_by_timeout_then_succeeds(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=STALL_TASK, task_index=1, seconds=10.0),))
+        report = run_batch_report(
+            _tasks(3), jobs=2,
+            resilience=ResilienceOptions(retry=_FAST_RETRY,
+                                         task_timeout=1.0, faults=plan))
+        assert report.ok
+        assert report.timeouts == 1
+        assert report.pool_rebuilds >= 1
+
+    def test_persistent_stall_quarantined(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=STALL_TASK, task_index=0, attempts=None,
+                      seconds=10.0),))
+        report = run_batch_report(
+            _tasks(3), jobs=2,
+            resilience=ResilienceOptions(retry=RetryPolicy(
+                max_retries=0), task_timeout=0.75, faults=plan))
+        assert report.quarantined_indices == [0]
+        assert report.failures[0].error == ERROR_TIMEOUT
+        assert report.succeeded == 2
+
+    def test_in_worker_budget_converts_stall_to_truncation(self):
+        # A wall budget inside the worker needs no pool teardown: the
+        # run truncates itself and reports partial, overflow-flagged
+        # metrics.
+        tasks = _tasks(2)
+        slow = SimTask(_quick(seed=500, arrival_rate=0.5,
+                              n_operations=100_000),
+                       budget=TaskBudget(wall_seconds=0.5,
+                                         check_interval=256))
+        report = run_batch_report(
+            tasks + [slow], jobs=2,
+            resilience=ResilienceOptions(retry=_FAST_RETRY))
+        assert report.ok
+        assert [t.index for t in report.truncations] == [2]
+        assert report.results[2].overflowed
+        assert report.pool_rebuilds == 0
+
+
+# ----------------------------------------------------------------------
+# Cache corruption inside a sweep
+# ----------------------------------------------------------------------
+class TestCacheCorruptionFault:
+
+    def test_corrupt_entry_recomputed_not_crashed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = _tasks(3)
+        warm = run_batch(tasks, jobs=1, cache=cache)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=CORRUPT_CACHE, task_index=1),))
+        report = run_batch_report(
+            tasks, jobs=1, cache=cache,
+            resilience=ResilienceOptions(faults=plan))
+        assert report.ok
+        assert report.cache_corruptions == 1
+        assert _fingerprints(report.results) == _fingerprints(warm)
+        # The recomputed entry was re-stored and now verifies.
+        clean = run_batch_report(tasks, jobs=1, cache=cache,
+                                 resilience=ResilienceOptions())
+        assert clean.cache_corruptions == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume under faults
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+
+    def test_interrupted_sweep_resumes_without_recomputing(self, tmp_path):
+        path = tmp_path / "sweep.ndjson"
+        tasks = _tasks(5)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=3, attempts=None),))
+        first = run_batch_report(
+            tasks, jobs=2,
+            resilience=ResilienceOptions(retry=RetryPolicy(max_retries=0),
+                                         checkpoint=path, faults=plan))
+        assert first.quarantined_indices == [3]
+        manifest = read_manifest(path)
+        assert manifest["quarantined"] == [3]
+        assert len(manifest["completed"]) == 4
+
+        # Resume fault-free: completed tasks replay from the journal,
+        # the quarantined one gets fresh attempts and now succeeds.
+        second = run_batch_report(
+            tasks, jobs=2,
+            resilience=ResilienceOptions(checkpoint=path, resume=True))
+        assert second.ok
+        assert second.resumed == 4
+        clean = run_batch(tasks, jobs=1)
+        assert _fingerprints(second.results) == _fingerprints(clean)
+
+    def test_resumed_results_not_re_cached_from_scratch(self, tmp_path):
+        path = tmp_path / "sweep.ndjson"
+        tasks = _tasks(3)
+        run_batch_report(tasks, jobs=1,
+                         resilience=ResilienceOptions(checkpoint=path))
+        report = run_batch_report(
+            tasks, jobs=1,
+            resilience=ResilienceOptions(checkpoint=path, resume=True))
+        assert report.resumed == 3
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# Environment-driven plans (the CI smoke path)
+# ----------------------------------------------------------------------
+class TestEnvDrivenFaults:
+
+    def test_env_plan_activates_resilient_batch(self, monkeypatch):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=0, attempts=None),))
+        monkeypatch.setenv(FAULTS_ENV, plan.encode())
+        # No explicit resilience options anywhere: the env plan alone
+        # must switch run_batch to the resilient path instead of
+        # crashing the sweep.
+        results = run_batch(_tasks(3), jobs=2)
+        assert results[0] is None
+        assert all(r is not None for r in results[1:])
+
+    def test_ambient_context_carries_resilience(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=1, attempts=None),))
+        options = ResilienceOptions(retry=_FAST_RETRY, faults=plan)
+        with execution(resilience=options):
+            results = run_batch(_tasks(3), jobs=2)
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the ISSUE's 20-task hostile sweep
+# ----------------------------------------------------------------------
+class TestAcceptanceSweep:
+
+    def test_twenty_task_sweep_survives_injected_faults(self, tmp_path):
+        """Under kill + stall + cache-corruption faults, a 20-task sweep
+        must terminate with >= 17 successes, a failure manifest naming
+        the quarantined tasks, and fingerprints identical to a clean
+        run for every non-quarantined task."""
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "sweep.ndjson"
+        tasks = _tasks(20)
+        # Warm one entry so the corruption fault has a target.
+        run_batch([tasks[5]], jobs=1, cache=cache)
+
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=KILL_WORKER, task_index=3, attempts=None),
+            FaultSpec(kind=KILL_WORKER, task_index=11),        # transient
+            FaultSpec(kind=STALL_TASK, task_index=7, attempts=None,
+                      seconds=10.0),                           # persistent
+            FaultSpec(kind=CORRUPT_CACHE, task_index=5),
+        ))
+        inst = Instrumentation()
+        report = run_batch_report(
+            tasks, jobs=4, cache=cache,
+            resilience=ResilienceOptions(
+                retry=_FAST_RETRY, task_timeout=1.5, checkpoint=journal,
+                faults=plan, instruments=inst))
+
+        # Terminates with partial results: 18/20 (persistent kill and
+        # persistent stall quarantined, transient kill retried).
+        assert report.succeeded == 18
+        assert sorted(report.quarantined_indices) == [3, 7]
+        assert report.cache_corruptions == 1
+
+        # The failure manifest names the quarantined tasks.
+        manifest = read_manifest(journal)
+        assert manifest["quarantined"] == [3, 7]
+        assert len(manifest["completed"]) == 18
+        errors = {manifest["tasks"][3]["error"],
+                  manifest["tasks"][7]["error"]}
+        assert errors == {ERROR_WORKER_DIED, ERROR_TIMEOUT}
+
+        # Telemetry counters observed the events.
+        assert inst.counter("resilience.quarantined").value == 2
+        assert inst.counter("resilience.retries").value >= 3
+        assert inst.counter("resilience.cache_corrupt").value == 1
+
+        # Every surviving result is bit-identical to a clean serial run.
+        clean = run_batch(tasks, jobs=1)
+        survived = _fingerprints(report.results)
+        expected = _fingerprints(clean)
+        for index in range(20):
+            if index in (3, 7):
+                assert survived[index] is None
+            else:
+                assert survived[index] == expected[index]
+
+
+# ----------------------------------------------------------------------
+# Fault-free resilient path is byte-identical (golden guarantee)
+# ----------------------------------------------------------------------
+class TestFaultFreeParity:
+
+    def test_resilient_path_matches_legacy_exactly(self):
+        tasks = _tasks(4)
+        legacy = run_batch(tasks, jobs=2)
+        resilient = run_batch_report(
+            tasks, jobs=2, resilience=ResilienceOptions())
+        assert resilient.ok
+        assert resilient.retries == 0
+        assert resilient.pool_rebuilds == 0
+        assert _fingerprints(resilient.results) == _fingerprints(legacy)
