@@ -10,19 +10,30 @@ Two layers of measurement:
    apples-to-apples measure of pure kernel overhead and the recorded
    ``speedup`` is the regression gate for the hot-path work.
 
-2. **End-to-end ops/sec per algorithm** — wall-clock operations per
+2. **Vectorized batch kernel** — the same lock-contention workload run
+   through the numpy struct-of-arrays kernel (:mod:`repro.des.vector`)
+   at several batch widths, against a freshly measured scalar-kernel
+   oracle on the identical workload.  ``speedup_vs_scalar`` is the
+   per-dispatch amortization win; lane 0 is spot-checked bit-identical
+   against the oracle inside the bench itself.
+
+3. **End-to-end ops/sec per algorithm** — wall-clock operations per
    second of :func:`repro.simulator.run_simulation` at a fixed small
    scale for the three core algorithms.  These track whole-stack
    throughput (tree + locks + metrics on top of the kernel).
 
 Results land in a versioned ``BENCH_kernel.json`` at the repo root
-(schema documented in ``docs/performance.md``); CI runs this at
-``--scale 0.05`` as a smoke test and uploads the artifact.
+(schema documented in ``docs/performance.md``); every bench entry
+carries its own ``generated_at`` and ``git_rev``, so a partially
+regenerated file can no longer masquerade as a single snapshot.  CI
+runs this at ``--scale 0.05`` as a smoke test and uploads the
+artifact.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--scale 1.0]
         [--repeat 3] [--out BENCH_kernel.json] [--min-speedup 0]
+        [--min-vec-speedup 0]
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 import time
 from datetime import datetime, timezone
@@ -44,8 +56,9 @@ from repro.des.engine import Simulator  # noqa: E402
 from repro.des.rwlock import RWLock  # noqa: E402
 from repro.simulator import SimulationConfig, run_simulation  # noqa: E402
 
-#: Bump when the JSON layout changes.
-SCHEMA_VERSION = 1
+#: Bump when the JSON layout changes.  v2: per-bench ``generated_at``
+#: + ``git_rev`` provenance and the ``kernel_events_vectorized`` kind.
+SCHEMA_VERSION = 2
 
 #: Microbench shape: N_PROCS processes contend for one lock; every
 #: fourth is a writer.  Hold/think times are deterministic (pure
@@ -53,7 +66,36 @@ SCHEMA_VERSION = 1
 N_PROCS = 32
 BASE_ITERS = 4_000
 
+#: Vectorized-bench shape: batch widths swept, per-lane cycle count at
+#: scale 1.0 and how many lanes the scalar oracle baseline times.
+VEC_BATCH_SIZES = (8, 32, 128)
+VEC_BASE_ITERS = 250
+VEC_SCALAR_LANES = 4
+
 ALGO_BENCHES = ("naive-lock-coupling", "optimistic-descent", "link-type")
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _stamp(bench: dict) -> dict:
+    """Per-bench provenance: when this entry was measured and at what
+    revision (file-level metadata went stale whenever a single bench
+    was re-run)."""
+    bench["generated_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    bench["git_rev"] = GIT_REV
+    return bench
+
+
+GIT_REV = _git_rev()
 
 
 def _hold(i: int, j: int) -> float:
@@ -137,6 +179,61 @@ def bench_lock_contention(scale: float, repeat: int) -> dict:
     }
 
 
+def bench_vectorized(scale: float, repeat: int) -> list:
+    """Events/sec of the batch kernel at each width, vs the scalar
+    oracle on the same workload (best-of-``repeat`` wall times)."""
+    from repro.des.vector import (
+        LockContentionSpec,
+        run_scalar_reference,
+        run_vectorized,
+    )
+    iters = max(10, int(VEC_BASE_ITERS * scale))
+    spec = LockContentionSpec(n_procs=N_PROCS, iterations=iters)
+
+    oracle0 = run_scalar_reference(spec, 0)  # also warms the path
+    best_scalar = float("inf")
+    scalar_events = 0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        stats = [run_scalar_reference(spec, lane)
+                 for lane in range(VEC_SCALAR_LANES)]
+        wall = time.perf_counter() - start
+        scalar_events = sum(s.events for s in stats)
+        best_scalar = min(best_scalar, wall)
+    scalar_eps = scalar_events / best_scalar
+
+    benches = []
+    for batch in VEC_BATCH_SIZES:
+        best = float("inf")
+        events = 0
+        run_vectorized(spec, batch)  # warm numpy dispatch paths
+        for _ in range(repeat):
+            start = time.perf_counter()
+            stats = run_vectorized(spec, batch)
+            wall = time.perf_counter() - start
+            events = int(stats.total_events)
+            best = min(best, wall)
+        lane0 = stats.lane(0)
+        # Same schedule as the scalar kernel, or the numbers lie.
+        assert lane0.events == oracle0.events, (lane0, oracle0)
+        assert lane0.end_time == oracle0.end_time, (lane0, oracle0)
+        eps = events / best
+        benches.append({
+            "name": f"kernel_events_vectorized_b{batch}",
+            "kind": "kernel_events_vectorized",
+            "scale": scale,
+            "processes": N_PROCS,
+            "iterations_per_process": iters,
+            "batch": batch,
+            "events": events,
+            "wall_s": round(best, 6),
+            "events_per_sec": round(eps, 1),
+            "scalar_events_per_sec": round(scalar_eps, 1),
+            "speedup_vs_scalar": round(eps / scalar_eps, 3),
+        })
+    return benches
+
+
 def bench_algorithm(algorithm: str, scale: float) -> dict:
     """Wall-clock ops/sec of one full-stack simulator run."""
     n_operations = max(50, int(4_000 * scale))
@@ -176,14 +273,26 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="exit non-zero if the microbench speedup is "
                              "below this (0 disables the gate)")
+    parser.add_argument("--min-vec-speedup", type=float, default=0.0,
+                        help="exit non-zero if the best vectorized "
+                             "speedup over the scalar kernel is below "
+                             "this (0 disables the gate)")
     args = parser.parse_args(argv)
 
-    benches = [bench_lock_contention(args.scale, args.repeat)]
+    benches = [_stamp(bench_lock_contention(args.scale, args.repeat))]
     print(f"[kernel]  {benches[0]['events_per_sec']:>12,.0f} ev/s  "
           f"(baseline {benches[0]['baseline_events_per_sec']:,.0f} ev/s, "
           f"speedup {benches[0]['speedup']:.2f}x)")
+    vec_benches = [_stamp(bench) for bench
+                   in bench_vectorized(args.scale, args.repeat)]
+    for bench in vec_benches:
+        print(f"[vector b={bench['batch']:>4}]  "
+              f"{bench['events_per_sec']:>12,.0f} ev/s  "
+              f"(scalar {bench['scalar_events_per_sec']:,.0f} ev/s, "
+              f"speedup {bench['speedup_vs_scalar']:.2f}x)")
+    benches.extend(vec_benches)
     for algorithm in ALGO_BENCHES:
-        bench = bench_algorithm(algorithm, args.scale)
+        bench = _stamp(bench_algorithm(algorithm, args.scale))
         benches.append(bench)
         print(f"[{algorithm:>22}]  {bench['ops_per_sec']:>9,.0f} ops/s  "
               f"({bench['wall_s']:.2f}s wall)")
@@ -192,6 +301,7 @@ def main(argv=None) -> int:
         "schema_version": SCHEMA_VERSION,
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
+        "git_rev": GIT_REV,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
@@ -204,6 +314,11 @@ def main(argv=None) -> int:
     if args.min_speedup and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x < required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    best_vec = max(b["speedup_vs_scalar"] for b in vec_benches)
+    if args.min_vec_speedup and best_vec < args.min_vec_speedup:
+        print(f"FAIL: vectorized speedup {best_vec:.2f}x < required "
+              f"{args.min_vec_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
 

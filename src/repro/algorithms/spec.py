@@ -81,6 +81,12 @@ class AlgorithmSpec:
     #: Updates hold coupled W locks on the descent path, so the root
     #: writer presence rho_w is the load-limiting signal (Figure 10).
     coupling_updates: bool = False
+    #: Replication batches may route through the lane-multiplexed
+    #: batch driver (:mod:`repro.simulator.batch`); the fixed-seed
+    #: equivalence suite must cover any spec that sets this.  Not a
+    #: :data:`CAPABILITY_FLAGS` entry — it gates an execution path,
+    #: not a modeled behavior.
+    vector_capable: bool = False
 
     def __post_init__(self) -> None:
         if not self.name or not self.label or not self.short:

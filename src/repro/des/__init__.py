@@ -16,6 +16,12 @@ concurrent B-tree simulator of Johnson & Shasha (PODS 1990, Section 4):
   deterministic service-time samplers with exact moment accessors.
 * :mod:`~repro.des.stats` — Welford accumulators and time-weighted
   statistics used for response times and lock utilizations.
+* :mod:`~repro.des.vector` — a numpy struct-of-arrays batch kernel that
+  advances N replications of the lock-contention workload per
+  interpreted dispatch, bit-exactly matching this scalar engine (its
+  oracle).  Deliberately **not** imported here: the rest of the
+  subpackage stays numpy-free, so import it explicitly
+  (``from repro.des import vector``) where batching is wanted.
 """
 
 from repro.des.distributions import (

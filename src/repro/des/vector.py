@@ -1,0 +1,565 @@
+"""Vectorized batch-replication DES kernel (struct-of-arrays).
+
+The scalar kernel (:mod:`repro.des.engine`) pays one interpreted
+dispatch per event per replication; at replication-sweep scale that
+interpreter overhead dominates (``BENCH_kernel.json`` tracks it).  This
+module amortizes it: ``n_lanes`` *independent replications* of the same
+FCFS reader/writer lock-contention workload advance **in lock-step
+within one process**, their whole simulation state held in
+``(n_lanes, n_procs)`` numpy arrays —
+
+* ``wake``  — each process's next timer (hold end / think end),
+* ``phase`` — SLEEPING / HOLDING / WAITING / DONE event kinds,
+* ``rt``    — FCFS request timestamps of the processes queued on the
+  lane's lock (the grant queue, kept as a sort key instead of a linked
+  queue, which is what makes grant waves vectorizable),
+* per-lane clocks, reader counts, queued-writer counts and the
+  time-weighted writer-presence accumulators of
+  :class:`~repro.des.rwlock.RWLock`.
+
+Each iteration of :meth:`VectorLockKernel.run` advances **every** live
+lane by at least one event: lanes whose next event shares a dispatch
+kind (a release, a grant wave, an arrival) are processed together by
+one masked numpy operation, so one interpreted dispatch serves the
+whole batch.  Two structural moves keep the interpreted loop short:
+
+1. **Bulk arrival absorption** — while a lane's lock is busy for every
+   requester (a writer holds it, or readers hold it with a non-empty
+   queue), every think-end before the next release can only *enqueue*.
+   Those arrivals are absorbed by one vectorized mask per iteration,
+   in any order, because the FCFS order lives in ``rt`` rather than in
+   insertion order.
+2. **Vectorized grant waves** — FCFS grants the longest compatible
+   queue prefix.  With request times as the queue, that prefix is
+   exactly "every waiting reader that requested before the earliest
+   waiting writer" (or the earliest writer alone), one masked
+   comparison per release instead of a per-waiter loop.
+
+The semantics mirror :class:`repro.des.engine.Simulator` +
+:class:`repro.des.rwlock.RWLock` on this workload *exactly*:
+:func:`run_scalar_reference` replays any lane through the real scalar
+kernel, and :func:`assert_equivalent` checks end times, event counts
+and grant counts bit-for-bit (both kernels perform the same IEEE-754
+additions in the same per-process order), plus the time-weighted
+accumulators to float tolerance (they integrate the same piecewise-
+constant function at different breakpoints).  Ties are avoided by
+construction — hold and think times are continuous pseudo-random
+draws, so two distinct timers almost surely never collide, and the
+scalar/vector cross-check would catch a collision that mattered.
+
+See ``docs/performance.md`` ("Vectorized batch-replication kernel")
+for the measured speedups and when batching wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LockContentionSpec",
+    "LaneStats",
+    "VectorRunStats",
+    "VectorLockKernel",
+    "run_vectorized",
+    "run_scalar_reference",
+    "assert_equivalent",
+]
+
+#: Process phases (the event kind the process's next event dispatches).
+SLEEPING = 0   # timer pending: think end -> lock request
+HOLDING = 1    # timer pending: hold end -> release
+WAITING = 2    # queued on the lock; no timer, FCFS key in ``rt``
+DONE = 3
+
+_INF = math.inf
+#: Smallest positive double.  Spawn-order FCFS keys for the t=0 request
+#: wave are distinct multiples of it: they order the queue by spawn
+#: index yet sort before any real (positive) request time.
+_TINY = 5e-324
+
+
+@dataclass(frozen=True)
+class LockContentionSpec:
+    """The replicated lock-contention workload.
+
+    Every lane runs ``n_procs`` processes for ``iterations`` cycles of
+    ``acquire -> hold -> release -> think`` against one FCFS R/W lock;
+    every ``writer_every``-th process (0, writer_every, ...) acquires
+    in W mode, the rest in R mode (``writer_every=0`` means readers
+    only).  Hold and think durations are continuous pseudo-random
+    draws seeded per lane — lane ``k`` always sees the same schedule
+    whatever the batch size, so batches of different widths share lane
+    prefixes and scalar replays stay comparable.
+    """
+
+    n_procs: int = 32
+    iterations: int = 250
+    writer_every: int = 4
+    seed: int = 0xB7EE
+    hold_low: float = 0.001
+    hold_high: float = 0.011
+    think_low: float = 0.0005
+    think_high: float = 0.004
+
+    def writer_mask(self) -> np.ndarray:
+        """Boolean ``(n_procs,)`` mask of the W-mode processes."""
+        if self.writer_every <= 0:
+            return np.zeros(self.n_procs, dtype=bool)
+        return np.arange(self.n_procs) % self.writer_every == 0
+
+    def durations(self, n_lanes: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(hold, think)`` duration tables, shape ``(n_lanes, P, J)``.
+
+        Lane ``k``'s draws come from ``default_rng(seed + k)`` so they
+        are independent of ``n_lanes`` (lane-prefix property).
+        """
+        shape = (self.n_procs, self.iterations)
+        hold = np.empty((n_lanes,) + shape)
+        think = np.empty((n_lanes,) + shape)
+        for lane in range(n_lanes):
+            rng = np.random.default_rng(self.seed + lane)
+            hold[lane] = rng.uniform(self.hold_low, self.hold_high, shape)
+            think[lane] = rng.uniform(self.think_low, self.think_high,
+                                      shape)
+        return hold, think
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Observables of one replication, comparable across kernels."""
+
+    end_time: float
+    events: int
+    grants_read: int
+    grants_write: int
+    time_writer_held: float
+    time_writer_present: float
+    time_held_any: float
+
+
+@dataclass(frozen=True)
+class VectorRunStats:
+    """Per-lane observables of one vectorized batch run."""
+
+    n_lanes: int
+    end_time: np.ndarray
+    events: np.ndarray
+    grants_read: np.ndarray
+    grants_write: np.ndarray
+    time_writer_held: np.ndarray
+    time_writer_present: np.ndarray
+    time_held_any: np.ndarray
+    #: Interpreted step-loop iterations the whole batch consumed — the
+    #: number of vector dispatches standing in for ``events.sum()``
+    #: scalar dispatches.
+    iterations: int
+
+    @property
+    def total_events(self) -> int:
+        return int(self.events.sum())
+
+    def lane(self, index: int) -> LaneStats:
+        return LaneStats(
+            end_time=float(self.end_time[index]),
+            events=int(self.events[index]),
+            grants_read=int(self.grants_read[index]),
+            grants_write=int(self.grants_write[index]),
+            time_writer_held=float(self.time_writer_held[index]),
+            time_writer_present=float(self.time_writer_present[index]),
+            time_held_any=float(self.time_held_any[index]),
+        )
+
+
+class VectorLockKernel:
+    """One batch execution of ``spec`` over ``n_lanes`` replications.
+
+    All state is struct-of-arrays; :meth:`run` is the masked step loop.
+    Single-use: construct, ``run()``, read the returned stats.
+    """
+
+    def __init__(self, spec: LockContentionSpec, n_lanes: int,
+                 durations: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                 ) -> None:
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        if spec.n_procs < 1 or spec.iterations < 1:
+            raise ValueError("the workload needs >= 1 process and "
+                             ">= 1 iteration")
+        self.spec = spec
+        self.n_lanes = n_lanes
+        hold, think = durations if durations is not None \
+            else spec.durations(n_lanes)
+        expected = (n_lanes, spec.n_procs, spec.iterations)
+        if hold.shape != expected or think.shape != expected:
+            raise ValueError(
+                f"duration tables {hold.shape}/{think.shape} do not "
+                f"match (n_lanes, n_procs, iterations)={expected}")
+        self._hold = np.ascontiguousarray(hold, dtype=np.float64)
+        self._think = np.ascontiguousarray(think, dtype=np.float64)
+
+    def run(self) -> VectorRunStats:
+        spec = self.spec
+        L, P, J = self.n_lanes, spec.n_procs, spec.iterations
+        hold_tab, think_tab = self._hold, self._think
+        is_writer = spec.writer_mask()
+        iw_row = is_writer[None, :]
+
+        # --- struct-of-arrays state ----------------------------------
+        # One timer array per timed phase (INF elsewhere), so the
+        # per-iteration minima are argmin+gather with no mask
+        # materialization.  ``hold_next`` caches each process's next
+        # hold duration (= hold_tab[l, p, jnext[l, p]]), turning every
+        # grant path into one masked full-array store.  ``rt_w``
+        # duplicates the waiting *writers'* FCFS keys so the earliest
+        # queued writer is a plain row argmin.
+        hold_wake = np.full((L, P), _INF)    # HOLDING: hold-end times
+        sleep_wake = np.full((L, P), _INF)   # SLEEPING: think-end times
+        rt = np.full((L, P), _INF)           # WAITING: FCFS keys
+        rt_w = np.full((L, P), _INF)         # WAITING writers' keys
+        jnext = np.zeros((L, P), dtype=np.int64)  # current cycle index
+        hold_next = hold_tab[:, :, 0].copy()
+        nread = np.zeros(L, dtype=np.int64)       # readers holding
+        wheld = np.zeros(L, dtype=bool)           # writer holding
+        nwait = np.zeros(L, dtype=np.int64)       # queued requests
+        # Event counts mirror the scalar kernel's heap-push sequence:
+        # P spawn records, +1 per hold-end push (grant), +1 per
+        # think-end push (release), +1 per resume push (queued grant).
+        events = np.full(L, P, dtype=np.int64)
+        end_time = np.zeros(L)
+        n_done = np.zeros(L, dtype=np.int64)
+        # Time-weighted accumulators (RWLock's).  time_writer_held and
+        # the grant counts are structural — every process is granted
+        # exactly once per cycle — so they are computed after the loop;
+        # writer-present and held-any are interval-accounted in-loop:
+        # an interval opens/closes only when the lane's predicate
+        # actually flips, which one masked comparison detects without
+        # per-event clock advances.
+        twp = np.zeros(L)   # writer held or queued
+        tha = np.zeros(L)   # held in any mode
+        active = np.ones(L, dtype=bool)
+
+        # --- initial wave: all P processes request at t=0 in spawn
+        # order.  The scalar rule grants the longest compatible spawn
+        # prefix — the leading readers up to the first writer (or the
+        # first writer alone); everyone behind queues in spawn order,
+        # with spawn-index FCFS keys.
+        w_idx = np.nonzero(is_writer)[0]
+        first_writer = int(w_idx[0]) if w_idx.size else P
+        ngrant = 1 if first_writer == 0 else first_writer
+        hold_wake[:, :ngrant] = hold_tab[:, :ngrant, 0]
+        events += ngrant                  # the granted hold-end pushes
+        if first_writer == 0:
+            wheld[:] = True
+        else:
+            nread[:] = ngrant
+        queued_writers = 0
+        if ngrant < P:
+            keys = np.arange(ngrant, P) * _TINY
+            rt[:, ngrant:] = keys
+            rt_w[:, ngrant:] = np.where(is_writer[ngrant:], keys, _INF)
+            nwait[:] = P - ngrant
+            queued_writers = int(is_writer[ngrant:].sum())
+
+        # Interval state for the flip-accounted accumulators.
+        wp_prev = wheld | (queued_writers > 0)
+        hp_prev = wheld | (nread > 0)
+        wp_start = np.zeros(L)
+        hp_start = np.zeros(L)
+
+        li0 = np.arange(L)
+        cols = np.arange(P)[None, :]
+        j_max = J - 1
+        iterations = 0
+        all_active = True
+
+        # --- the masked step loop ------------------------------------
+        # Every branch below updates state with full-array masked ops
+        # (`where`/`copyto`): gathers at (lane, argmin) positions are
+        # harmless for lanes outside the mask and the stores write the
+        # old value back, so no per-branch index lists are built.  The
+        # dominant cost at small batch widths is numpy *call* overhead,
+        # so the common high-contention case — every lane busy, every
+        # lane releasing — takes a fast path of plain scatters with no
+        # per-lane masking at all.
+        while True:
+            iterations += 1
+            pi = hold_wake.argmin(axis=1)
+            t_rel = hold_wake[li0, pi]
+            busy = wheld | ((nread > 0) & (nwait > 0))
+            if not all_active:
+                busy &= active
+            all_busy = bool(busy.all())
+
+            # (1) bulk-absorb passive arrivals: while the lock is busy
+            # for every requester, a think-end before the next release
+            # can only enqueue.  Enqueueing pushes no event and never
+            # flips an accumulator predicate (the writer already holds,
+            # or a writer is already queued ahead of held readers), so
+            # absorbing the arrivals out of time order is invisible.
+            absorb = sleep_wake < t_rel[:, None]
+            if not all_busy:
+                absorb &= busy[:, None]
+            if absorb.any():
+                np.copyto(rt, sleep_wake, where=absorb)
+                np.copyto(rt_w, sleep_wake, where=absorb & iw_row)
+                np.copyto(sleep_wake, _INF, where=absorb)
+                nwait += absorb.sum(axis=1)
+                # t_arr is stale for absorbed lanes, but they are busy
+                # and take the release branch regardless.
+
+            # Earliest queued writer per lane: both the FCFS pivot of
+            # the grant wave and the "writer queued" half of the
+            # writer-present predicate (so no separate waiting-writer
+            # counter is maintained).
+            wpos = rt_w.argmin(axis=1)
+            wrt = rt_w[li0, wpos]
+
+            # (2) pick each lane's next event kind.  Busy lanes always
+            # release next (every earlier arrival was just absorbed);
+            # ties are impossible by construction.
+            if all_busy:
+                rel = busy
+                rel_any, arr_any = True, False
+            else:
+                ai = sleep_wake.argmin(axis=1)
+                t_arr = sleep_wake[li0, ai]
+                rel = (busy | (t_rel <= t_arr)) & (t_rel < _INF)
+                arr = ~rel & (t_arr < _INF)
+                if not all_active:
+                    rel &= active
+                    arr &= active
+                rel_any = bool(rel.any())
+                arr_any = bool(arr.any())
+                if not rel_any and not arr_any:
+                    if active.any():
+                        raise RuntimeError(
+                            "vector kernel stalled: active lanes with "
+                            "no pending timers")
+                    break
+
+            # (3) releases: one per release-lane this iteration.
+            if rel_any:
+                w_rel = is_writer[pi]
+                j = jnext[li0, pi]
+                t_think = t_rel + think_tab[li0, pi,
+                                            np.minimum(j, j_max)]
+                jn1 = j + 1
+                if all_busy:
+                    # every lane releases: plain scatters, no masks
+                    wheld[:] = False
+                    nread -= ~w_rel
+                    events += 1         # the think-end push
+                    hold_wake[li0, pi] = _INF
+                    lastm = jn1 == J
+                    lastm_any = bool(lastm.any())
+                    sleep_wake[li0, pi] = (
+                        np.where(lastm, _INF, t_think) if lastm_any
+                        else t_think)
+                    jnext[li0, pi] = jn1
+                    hold_next[li0, pi] = hold_tab[
+                        li0, pi, np.minimum(jn1, j_max)]
+                else:
+                    wheld &= ~rel      # the holder left, whatever mode
+                    nread -= rel & ~w_rel
+                    events += rel      # the think-end push
+                    hold_wake[li0, pi] = np.where(rel, _INF, t_rel)
+                    lastm = rel & (jn1 == J)
+                    lastm_any = bool(lastm.any())
+                    np.copyto(sleep_wake, t_think[:, None],
+                              where=(cols == pi[:, None])
+                              & (rel & ~lastm)[:, None])
+                    jnext[li0, pi] = j + rel
+                    hold_next[li0, pi] = hold_tab[
+                        li0, pi,
+                        np.minimum(np.where(rel, jn1, j), j_max)]
+                if lastm_any:
+                    n_done += lastm
+                    end_time = np.where(
+                        lastm, np.maximum(end_time, t_think), end_time)
+                    active = n_done < P
+                    all_active = False
+
+                # (4) grant wave: FCFS grants the longest compatible
+                # queue prefix of every lane this release freed up —
+                # every waiting reader that requested before the
+                # earliest waiting writer (no writer key beats wrt, so
+                # the comparison alone selects exactly the readers), or
+                # the earliest writer alone once the readers drained.
+                wave = rt < wrt[:, None]
+                if not all_busy:
+                    wave &= rel[:, None]
+                counts = wave.sum(axis=1)
+                w_go = (counts == 0) & (wrt < _INF) & (nread == 0)
+                if not all_busy:
+                    w_go &= rel
+                gcounts = counts + w_go
+                if gcounts.any():
+                    grant = wave | ((cols == wpos[:, None])
+                                    & w_go[:, None])
+                    np.copyto(hold_wake, t_rel[:, None] + hold_next,
+                              where=grant)
+                    np.copyto(rt, _INF, where=grant)
+                    np.copyto(rt_w, _INF, where=grant)
+                    events += gcounts   # the resume pushes
+                    events += gcounts   # the hold-end pushes
+                    nwait -= gcounts
+                    nread += counts
+                    wheld |= w_go
+
+            # (5) arrivals at an open lock (idle, or reader-held with
+            # an empty queue): one per arrival-lane this iteration.
+            # Such lanes always have an empty queue (a queue behind
+            # current holders means a busy lane, whose arrivals were
+            # absorbed above), so the scalar immediate-grant rule
+            # reduces to a mode check: readers go, writers go iff no
+            # readers hold.
+            if arr_any:
+                aw = is_writer[ai]
+                blocked = arr & aw & (nread > 0)
+                go = arr & ~blocked
+                oh_a = cols == ai[:, None]
+                np.copyto(sleep_wake, _INF, where=oh_a & arr[:, None])
+                if blocked.any():
+                    bm = oh_a & blocked[:, None]   # all blocked are W
+                    np.copyto(rt, t_arr[:, None], where=bm)
+                    np.copyto(rt_w, t_arr[:, None], where=bm)
+                    nwait += blocked
+                    # the queue was empty, so the new writer is the
+                    # earliest one — keep wrt honest for step (6)
+                    wrt = np.where(blocked, t_arr, wrt)
+                if go.any():
+                    np.copyto(hold_wake, t_arr[:, None] + hold_next,
+                              where=oh_a & go[:, None])
+                    events += go        # the hold-end push
+                    wheld |= go & aw
+                    nread += go & ~aw
+
+            # (6) accumulator intervals: each event lane saw all its
+            # state changes at one timestamp, so sampling the
+            # predicates once per iteration is exact.  ``wrt`` may be
+            # stale for lanes whose wave just granted the earliest
+            # writer, but those lanes have ``wheld`` set, which
+            # dominates the predicate.
+            wp = wheld | (wrt < _INF)
+            hp = wheld | (nread > 0)
+            wp_flip = wp != wp_prev
+            hp_flip = hp != hp_prev
+            if wp_flip.any() or hp_flip.any():
+                ev_t = t_rel if all_busy else np.where(rel, t_rel, t_arr)
+                twp += np.where(wp_flip & ~wp, ev_t - wp_start, 0.0)
+                np.copyto(wp_start, ev_t, where=wp_flip & wp)
+                tha += np.where(hp_flip & ~hp, ev_t - hp_start, 0.0)
+                np.copyto(hp_start, ev_t, where=hp_flip & hp)
+                wp_prev = wp
+                hp_prev = hp
+
+        # Structural tallies: the loop above retires a lane only after
+        # every process finished all J cycles, and each cycle is
+        # granted exactly once, so the grant counts per mode and the
+        # total writer-held time are fixed by the workload tables.
+        n_writers = int(is_writer.sum())
+        grants_write = np.full(L, n_writers * J, dtype=np.int64)
+        grants_read = np.full(L, (P - n_writers) * J, dtype=np.int64)
+        twh = (hold_tab[:, is_writer, :].sum(axis=(1, 2))
+               if n_writers else np.zeros(L))
+
+        return VectorRunStats(
+            n_lanes=L, end_time=end_time, events=events,
+            grants_read=grants_read, grants_write=grants_write,
+            time_writer_held=twh, time_writer_present=twp,
+            time_held_any=tha, iterations=iterations,
+        )
+
+
+def run_vectorized(spec: LockContentionSpec, n_lanes: int,
+                   durations: Optional[Tuple[np.ndarray, np.ndarray]]
+                   = None) -> VectorRunStats:
+    """Run ``n_lanes`` replications of ``spec`` through the vector
+    kernel and return the per-lane stats."""
+    return VectorLockKernel(spec, n_lanes, durations=durations).run()
+
+
+def run_scalar_reference(spec: LockContentionSpec, lane: int,
+                         durations: Optional[Tuple[np.ndarray, np.ndarray]]
+                         = None) -> LaneStats:
+    """Replay lane ``lane`` of ``spec`` through the *scalar* kernel.
+
+    This is the oracle: the real :class:`~repro.des.engine.Simulator`
+    and :class:`~repro.des.rwlock.RWLock` execute the identical
+    schedule, and the returned :class:`LaneStats` must match the
+    vector kernel's lane bit-for-bit on times and counts.
+    """
+    from repro.des.engine import Simulator
+    from repro.des.rwlock import RWLock
+
+    if durations is not None:
+        hold, think = durations
+        hold_rows = hold[lane].tolist()
+        think_rows = think[lane].tolist()
+    else:
+        hold_arr, think_arr = spec.durations(lane + 1)
+        hold_rows = hold_arr[lane].tolist()
+        think_rows = think_arr[lane].tolist()
+    writers = spec.writer_mask().tolist()
+
+    sim = Simulator()
+    lock = RWLock(f"lane{lane}")
+
+    def worker(i: int):
+        acquire = lock.acquire_write if writers[i] else lock.acquire_read
+        release = lock.release_cmd
+        holds = hold_rows[i]
+        thinks = think_rows[i]
+        for j in range(spec.iterations):
+            yield acquire
+            yield holds[j]
+            yield release
+            yield thinks[j]
+
+    for i in range(spec.n_procs):
+        sim.spawn(worker(i))
+    sim.run()
+    lock.finalize(sim.now)
+    return LaneStats(
+        end_time=sim.now,
+        events=sim._sequence,
+        grants_read=lock.grants_read,
+        grants_write=lock.grants_write,
+        time_writer_held=lock.time_writer_held,
+        time_writer_present=lock.time_writer_present,
+        time_held_any=lock.time_held_any,
+    )
+
+
+def assert_equivalent(vector: VectorRunStats,
+                      scalar: Sequence[LaneStats],
+                      lanes: Optional[Sequence[int]] = None) -> None:
+    """Assert the vector run reproduces the scalar lanes.
+
+    End times, event counts and grant counts must match exactly (the
+    kernels perform the same IEEE-754 additions in the same per-process
+    order); the time-weighted accumulators are integrated at different
+    breakpoints, so they are compared to float tolerance.
+    """
+    indices: List[int] = list(lanes) if lanes is not None \
+        else list(range(len(scalar)))
+    for offset, lane in enumerate(indices):
+        ref = scalar[offset]
+        got = vector.lane(lane)
+        if (got.end_time != ref.end_time or got.events != ref.events
+                or got.grants_read != ref.grants_read
+                or got.grants_write != ref.grants_write):
+            raise AssertionError(
+                f"lane {lane} diverged from the scalar kernel: "
+                f"vector={got} scalar={ref}")
+        for field in ("time_writer_held", "time_writer_present",
+                      "time_held_any"):
+            a, b = getattr(got, field), getattr(ref, field)
+            if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+                raise AssertionError(
+                    f"lane {lane} accumulator {field} diverged: "
+                    f"vector={a!r} scalar={b!r}")

@@ -11,16 +11,20 @@ Usage::
 
 ``list-algorithms`` prints the :mod:`repro.algorithms` registry — every
 registered algorithm with its display label, whether it has an
-analytical model, and its capability flags (``docs/architecture.md``
-shows how to register a new one).
+analytical model, whether replication batches may take the vectorized
+batch path (``vector`` vs ``scalar``), and its capability flags
+(``docs/architecture.md`` shows how to register a new one).
 
 Simulation runs are memoized in an on-disk cache (``$REPRO_CACHE_DIR``
 or ``~/.cache/repro``), so re-running an experiment at the same scale
 reuses every already-computed point; ``--no-cache`` disables the cache
 and ``--clear-cache`` empties it first.  ``--jobs N`` fans a sweep's
 independent simulation runs out over ``N`` worker processes (the
-default, 1, is serial); results are bit-identical either way.  See
-``docs/performance.md``.
+default, 1, is serial); results are bit-identical either way.
+``--batch N`` additionally groups up to ``N`` replication seeds per
+scheduled unit through the lane-multiplexed batch driver when the
+algorithm is vector-capable — again bit-identical, with per-seed cache
+keys unchanged.  See ``docs/performance.md``.
 
 ``--progress`` streams one line per completed run to stderr;
 ``simulate`` runs one configuration under full telemetry and
@@ -92,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="worker processes for the replication "
                                "seeds (default 1: serial)")
+    simulate.add_argument("--batch", type=_non_negative_int, default=None,
+                          metavar="N",
+                          help="batch width for the replication seeds "
+                               "(telemetry runs always fall back to the "
+                               "scalar path; accepted for symmetry)")
     _resilience_flags(simulate)
     return parser
 
@@ -174,6 +183,12 @@ def _common_run_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes for independent simulation "
                           "runs (default 1: serial; results identical)")
+    sub.add_argument("--batch", type=_non_negative_int, default=None,
+                     metavar="N",
+                     help="advance up to N replication seeds per "
+                          "scheduled unit through the lane-multiplexed "
+                          "batch driver (vector-capable algorithms "
+                          "only; default 1: scalar; results identical)")
     sub.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk simulation result cache")
     sub.add_argument("--clear-cache", action="store_true",
@@ -216,8 +231,10 @@ def _dispatch(args) -> int:
         if args.command == "list-algorithms":
             for spec in all_algorithms():
                 model = "model" if spec.has_model else "sim-only"
+                vec = "vector" if spec.vector_capable else "scalar"
                 caps = ", ".join(spec.capabilities()) or "-"
-                print(f"{spec.name:<26} {spec.label:<32} {model:<9} {caps}")
+                print(f"{spec.name:<26} {spec.label:<32} {model:<9} "
+                      f"{vec:<7} {caps}")
             return 0
         if args.command == "claims":
             from repro.experiments.claims import evaluate_claims, format_claims
@@ -236,7 +253,7 @@ def _dispatch(args) -> int:
             progress = ProgressPrinter()
         resilience = _resilience_from_args(args)
         with execution(jobs=args.jobs, cache=cache, progress=progress,
-                       resilience=resilience):
+                       resilience=resilience, batch=args.batch):
             if args.command == "run":
                 experiment = get_experiment(args.experiment_id)
                 _emit(experiment.run(scale=args.scale, simulate=simulate),
@@ -269,7 +286,8 @@ def _simulate(args) -> int:
         args.scale)
     options = TelemetryOptions(sample_interval=args.sample_interval)
     progress = ProgressPrinter(total=args.seeds) if args.progress else None
-    with execution(resilience=_resilience_from_args(args)):
+    with execution(resilience=_resilience_from_args(args),
+                   batch=args.batch):
         results, merged = collect_replications(
             config, n_seeds=args.seeds, options=options, jobs=args.jobs,
             progress=progress)

@@ -46,6 +46,11 @@ class ExecutionContext:
     #: timeouts, checkpointing — see :mod:`repro.resilience`); ``None``
     #: keeps the historical fail-fast behavior.
     resilience: Optional[ResilienceOptions] = None
+    #: Replication batch width: group up to this many consecutive
+    #: batch-eligible tasks per scheduled unit and advance them through
+    #: the lane-multiplexed driver (:mod:`repro.simulator.batch`).
+    #: ``None``, 0 or 1 all mean one task per unit (the scalar path).
+    batch: Optional[int] = None
 
     @property
     def parallel(self) -> bool:
@@ -65,6 +70,7 @@ def execution(jobs: Optional[int] = _UNSET,
               cache: Optional[ResultCache] = _UNSET,
               progress: Optional[Callable] = _UNSET,
               resilience: Optional[ResilienceOptions] = _UNSET,
+              batch: Optional[int] = _UNSET,
               ) -> Iterator[ExecutionContext]:
     """Install an execution context for the enclosed block.
 
@@ -77,9 +83,13 @@ def execution(jobs: Optional[int] = _UNSET,
         cache=outer.cache if cache is _UNSET else cache,
         progress=outer.progress if progress is _UNSET else progress,
         resilience=outer.resilience if resilience is _UNSET else resilience,
+        batch=outer.batch if batch is _UNSET else batch,
     )
     if context.jobs is not None and context.jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {context.jobs}")
+    if context.batch is not None and context.batch < 0:
+        raise ConfigurationError(
+            f"batch must be >= 0, got {context.batch}")
     _stack.append(context)
     try:
         yield context
@@ -119,3 +129,15 @@ def resolve_resilience(resilience: Optional[ResilienceOptions]
     context's (``execution(resilience=None)`` restores fail-fast)."""
     return resilience if resilience is not None \
         else current_context().resilience
+
+
+def resolve_batch(batch: Optional[int]) -> int:
+    """Effective replication batch width: the argument, else the
+    ambient context's; ``None``/0/1 all resolve to 1 (scalar)."""
+    if batch is None:
+        batch = current_context().batch
+    if batch is None:
+        return 1
+    if batch < 0:
+        raise ConfigurationError(f"batch must be >= 0, got {batch}")
+    return max(batch, 1)

@@ -1,0 +1,103 @@
+"""Lane-multiplexed batch execution of independent replications.
+
+:func:`run_replication_batch` advances N independent simulator runs
+("lanes") inside one process in **frontier-synchronized rounds**: each
+round picks a global time frontier just past the earliest pending event
+across all live lanes, then lets every lane drain its events up to that
+frontier (``Simulator.run(until=frontier)``).  Because replications
+share no state — every RNG stream derives from the lane's own
+``config.seed`` during :func:`~repro.simulator.driver._prepare_run` —
+any interleaving of the lanes executes the bit-identical per-lane event
+sequence, so each lane's :class:`~repro.simulator.metrics\
+.SimulationResult` equals the scalar :func:`~repro.simulator.driver\
+.run_simulation` output *exactly* (the equivalence suite in
+``tests/test_batch_replications.py`` enforces this for every registered
+algorithm).
+
+This is the scheduling half of the vectorization story: it gives the
+sweep layer one schedulable unit per seed *batch* while preserving
+per-seed results and cache keys.  The arithmetic half — advancing many
+replications per interpreted numpy dispatch — lives in
+:mod:`repro.des.vector`, which vectorizes the lock-contention kernel
+itself; ``docs/performance.md`` ("Vectorized batch-replication
+kernel") covers when each layer wins.
+
+Fallback contract: callers must route a task through the scalar path
+instead when the run needs machinery the batch driver does not carry —
+per-run budgets (their wall-clock share would differ under
+multiplexing), telemetry or tracing (their samplers are per-simulator),
+or an algorithm whose spec is not ``vector_capable``.
+:func:`batch_capable` encodes the spec check; the executor
+(:func:`repro.parallel.run_batch`) applies all of them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.algorithms import get_algorithm
+from repro.errors import ConfigurationError
+from repro.simulator.config import SimulationConfig
+from repro.simulator.driver import _finalize_run, _prepare_run
+from repro.simulator.metrics import SimulationResult
+
+#: Frontier growth per round: the next frontier sits just past the
+#: earliest pending event, stretched geometrically so rounds amortize
+#: (the schedule only affects wall clock, never results).
+_FRONTIER_STRETCH = 1.25
+_FRONTIER_PAD = 1.0
+
+
+def batch_capable(config: SimulationConfig) -> bool:
+    """True when ``config``'s algorithm opted into the batch driver
+    (its registered spec sets ``vector_capable``)."""
+    return bool(get_algorithm(config.algorithm).vector_capable)
+
+
+def run_replication_batch(configs: Sequence[SimulationConfig],
+                          ) -> List[SimulationResult]:
+    """Run every config to completion in one lane-multiplexed pass.
+
+    Results come back in ``configs`` order and are bit-identical to
+    ``[run_simulation(c) for c in configs]``.  Raises
+    :class:`~repro.errors.ConfigurationError` for an algorithm that is
+    not ``vector_capable`` — the caller was supposed to fall back.
+    """
+    for config in configs:
+        if not batch_capable(config):
+            raise ConfigurationError(
+                f"algorithm {config.algorithm!r} is not vector-capable; "
+                "run it through the scalar path")
+    runs = [_prepare_run(config) for config in configs]
+    results: List[Optional[SimulationResult]] = [None] * len(runs)
+    live = list(range(len(runs)))
+    while live:
+        frontier = _next_frontier(runs, live)
+        still_live: List[int] = []
+        for index in live:
+            run = runs[index]
+            next_time = run.sim.next_event_time()
+            if next_time is not None and next_time <= frontier:
+                run.sim.run(until=frontier, stop_when=run.stop_when)
+            # Re-read rather than trusting the slice: the lane may have
+            # finished mid-slice (stop predicate) or drained its heap.
+            if run.finished() or run.sim.next_event_time() is None:
+                results[index] = _finalize_run(run)
+            else:
+                still_live.append(index)
+        live = still_live
+    return results  # type: ignore[return-value]
+
+
+def _next_frontier(runs, live: Sequence[int]) -> float:
+    """A frontier guaranteed to cover at least one pending event."""
+    earliest = None
+    for index in live:
+        next_time = runs[index].sim.next_event_time()
+        if next_time is not None and (earliest is None
+                                      or next_time < earliest):
+            earliest = next_time
+    if earliest is None:
+        # No live lane has events; finalize them all this round.
+        return 0.0
+    return earliest * _FRONTIER_STRETCH + _FRONTIER_PAD

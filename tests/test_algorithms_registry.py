@@ -200,6 +200,10 @@ class TestSurfacing:
         assert any(names.OPTIMISTIC_LOCK_COUPLING in line for line in lines)
         assert "sim-only" in out and "model" in out
         assert "coupling_updates" in out
+        # Every spec advertises its batch-path eligibility.
+        for line, spec in zip(lines, all_algorithms()):
+            expected = "vector" if spec.vector_capable else "scalar"
+            assert expected in line
 
     def test_simulate_choices_come_from_registry(self):
         from repro.experiments.runner import _build_parser
