@@ -1,4 +1,12 @@
-"""Plain-text and CSV rendering of experiment tables."""
+"""Plain-text and CSV rendering of experiment tables.
+
+These formatters remain the building blocks for terminal output
+(``btree-perf run``/``all``) and for the ``tables.txt`` artifact of the
+unified report pipeline.  As a *standalone* report generator this
+module is deprecated: ``btree-perf figures`` (:mod:`repro.report`)
+renders every figure with data sidecars and a machine-checked
+validation report in one resumable run — see ``docs/reproduction.md``.
+"""
 
 from __future__ import annotations
 
@@ -60,3 +68,20 @@ def print_tables(tables: Sequence[ExperimentTable]) -> None:
     for table in tables:
         print(format_table(table))
         print()
+
+
+def main() -> int:  # pragma: no cover - pointer shim
+    """Deprecated entry point; points at the unified pipeline."""
+    import sys
+
+    print("repro.experiments.report is a formatting library, not a "
+          "report generator anymore.\n"
+          "Use `btree-perf figures --all` for the unified figure + "
+          "validation-report pipeline (docs/reproduction.md), or "
+          "`btree-perf run <id> [--csv]` for one table.",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -6,8 +6,20 @@ Usage::
     btree-perf list-algorithms
     btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv] [--jobs 4]
     btree-perf all [--scale 0.1] [--jobs 4]
+    btree-perf figures --all [--scale 0.1] [--jobs 4] [--out figures]
+    btree-perf figures fig03 fig10 --scale 0.05 --resume
     btree-perf simulate --algorithm link-type --rate 0.2 \\
         --metrics-out run.ndjson --progress
+
+``figures`` is the one-command full reproduction: it regenerates every
+requested figure (``--all`` or explicit ids), renders SVG (+PNG when
+matplotlib is installed) with the publication theme plus an NDJSON
+data sidecar per figure, and writes a validation report (markdown +
+JSON) whose model-vs-simulation error tables are checked against the
+registry thresholds — a breach (or a failed in-text claim) exits
+nonzero, which is the CI gate.  The run checkpoints per figure;
+re-invoking with ``--resume`` serves completed figures from the
+journal.  See ``docs/reproduction.md``.
 
 ``list-algorithms`` prints the :mod:`repro.algorithms` registry — every
 registered algorithm with its display label, whether it has an
@@ -67,6 +79,67 @@ def _build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment")
     _common_run_flags(everything)
+
+    figures = sub.add_parser(
+        "figures",
+        help="one-command reproduction: render figures + validation "
+             "report (docs/reproduction.md)")
+    figures.add_argument("figure_ids", nargs="*", metavar="FIGURE",
+                         help="figure ids to generate (e.g. fig03 ext04); "
+                              "empty with --all for the full set")
+    figures.add_argument("--all", action="store_true", dest="all_figures",
+                         help="generate every registered figure")
+    figures.add_argument("--out", default="figures", metavar="DIR",
+                         help="output directory (default: figures/)")
+    figures.add_argument("--formats", default=None, metavar="LIST",
+                         help="comma-separated image formats (svg,png); "
+                              "default: svg plus png when matplotlib is "
+                              "installed; ndjson sidecars are always "
+                              "written")
+    figures.add_argument("--threshold-scale", type=float, default=1.0,
+                         metavar="F",
+                         help="multiply every validation threshold by F "
+                              "(tighten < 1, loosen > 1; default 1.0)")
+    figures.add_argument("--scale", type=float, default=1.0,
+                         help="simulation effort scale (1.0 = paper "
+                              "scale)")
+    figures.add_argument("--no-sim", action="store_true",
+                         help="analytical series only (skip the "
+                              "simulator everywhere)")
+    figures.add_argument("--no-claims", action="store_true",
+                         help="leave the paper's in-text claims out of "
+                              "the validation report")
+    figures.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for each figure's "
+                              "simulation sweep (default 1: serial)")
+    figures.add_argument("--batch", type=_non_negative_int, default=None,
+                         metavar="N",
+                         help="replication batch width (vector-capable "
+                              "algorithms; results identical)")
+    figures.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk simulation result "
+                              "cache")
+    figures.add_argument("--clear-cache", action="store_true",
+                         help="empty the simulation result cache first")
+    figures.add_argument("--progress", action="store_true",
+                         help="stream per-figure and per-run progress "
+                              "lines to stderr")
+    figures.add_argument("--resume", action="store_true",
+                         help="resume an interrupted run: completed "
+                              "figures are served from the journal in "
+                              "--out (and interrupted sweeps from the "
+                              "result cache)")
+    figures.add_argument("--journal", default=None, metavar="PATH",
+                         help="figure checkpoint journal (default: "
+                              "<out>/figures-journal.ndjson)")
+    figures.add_argument("--task-timeout", type=_positive_seconds,
+                         default=None, metavar="SECONDS",
+                         help="wall-clock deadline per simulation task "
+                              "(stalled tasks are retried, then "
+                              "quarantined)")
+    figures.add_argument("--max-retries", type=_non_negative_int,
+                         default=None, metavar="N",
+                         help="retries per failed simulation task")
 
     simulate = sub.add_parser(
         "simulate",
@@ -238,11 +311,17 @@ def _dispatch(args) -> int:
             return 0
         if args.command == "claims":
             from repro.experiments.claims import evaluate_claims, format_claims
+            print("note: `btree-perf claims` is folded into the "
+                  "validation report of `btree-perf figures` "
+                  "(docs/reproduction.md); this standalone command "
+                  "remains for quick checks.", file=sys.stderr)
             results = evaluate_claims()
             sys.stdout.write(format_claims(results))
             return 0 if all(r.holds for r in results) else 1
         if args.command == "simulate":
             return _simulate(args)
+        if args.command == "figures":
+            return _figures(args)
         simulate: Optional[bool] = False if args.no_sim else None
         if args.clear_cache:
             ResultCache().clear()
@@ -267,6 +346,60 @@ def _dispatch(args) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _figures(args) -> int:
+    """The ``figures`` subcommand: the one-command full reproduction."""
+    from repro.report import generate_figures
+
+    if not args.figure_ids and not args.all_figures:
+        raise ConfigurationError(
+            "figures needs explicit ids (e.g. fig03 fig10) or --all; "
+            "`btree-perf list` shows the registered figures")
+    figure_ids = None if args.all_figures and not args.figure_ids \
+        else args.figure_ids
+    if args.clear_cache:
+        ResultCache().clear()
+    cache = None if args.no_cache else ResultCache()
+    progress = None
+    log = None
+    if args.progress:
+        from repro.obs import ProgressPrinter
+        progress = ProgressPrinter()
+        log = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    resilience = None
+    if args.task_timeout is not None or args.max_retries is not None:
+        from repro.resilience import ResilienceOptions, RetryPolicy
+        retry = RetryPolicy(max_retries=args.max_retries) \
+            if args.max_retries is not None else RetryPolicy()
+        resilience = ResilienceOptions(retry=retry,
+                                       task_timeout=args.task_timeout)
+    formats = args.formats.split(",") if args.formats else None
+    with execution(jobs=args.jobs, cache=cache, progress=progress,
+                   resilience=resilience, batch=args.batch):
+        result = generate_figures(
+            figure_ids=figure_ids, scale=args.scale, out_dir=args.out,
+            formats=formats,
+            simulate=False if args.no_sim else None,
+            resume=args.resume, journal_path=args.journal,
+            threshold_scale=args.threshold_scale,
+            include_claims=not args.no_claims, log=log)
+    report = result.report
+    print(f"{len(result.figures)} figure(s) -> {result.out_dir} "
+          f"({sum(1 for o in result.figures if o.resumed)} resumed); "
+          f"report: {result.report_markdown}")
+    if not report.passed:
+        for breach in report.breaches:
+            print(f"BREACH {breach.figure_id} {breach.quantity} "
+                  f"({breach.algorithm}): median {breach.metric} error "
+                  f"{breach.median_error:.3g} > threshold "
+                  f"{breach.threshold * report.threshold_scale:.3g}",
+                  file=sys.stderr)
+        for claim in report.failed_claims:
+            print(f"CLAIM FAILED {claim.claim_id}: {claim.measured}",
+                  file=sys.stderr)
+        return 1
+    return 0
 
 
 def _simulate(args) -> int:

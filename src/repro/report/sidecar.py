@@ -1,0 +1,106 @@
+"""Per-figure NDJSON data sidecars.
+
+Every rendered figure is accompanied by a ``<figure_id>.ndjson`` file
+carrying the exact plotted series, so downstream tooling (and the
+validation report) can re-read a figure's numbers without re-running
+the sweep or parsing an image.  The format is line-delimited JSON:
+
+* one ``header`` line — schema version, figure identity, column names;
+* one ``row`` line per table row, values in column order;
+* one ``note`` line per table note.
+
+Serialization is strict JSON (``allow_nan=False``): non-finite floats
+are encoded as the sentinel strings ``"Infinity"``, ``"-Infinity"`` and
+``"NaN"`` and decoded back to floats on load.  Output is deterministic
+— sorted keys, fixed separators, no timestamps — because the
+regression suite pins sidecars byte-identical across cached re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, List
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentTable
+
+SIDECAR_SCHEMA = 1
+
+_SENTINELS = {"Infinity": math.inf, "-Infinity": -math.inf,
+              "NaN": math.nan}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, str) and value in _SENTINELS:
+        return _SENTINELS[value]
+    return value
+
+
+def _dump_line(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def dumps_sidecar(table: ExperimentTable) -> str:
+    """Serialize ``table`` as the NDJSON sidecar text."""
+    lines: List[str] = [_dump_line({
+        "kind": "header", "schema": SIDECAR_SCHEMA,
+        "experiment_id": table.experiment_id, "figure": table.figure,
+        "title": table.title, "columns": list(table.columns),
+        "n_rows": len(table.rows),
+    })]
+    for row in table.rows:
+        lines.append(_dump_line({
+            "kind": "row", "values": [_encode_value(v) for v in row]}))
+    for note in table.notes:
+        lines.append(_dump_line({"kind": "note", "text": note}))
+    return "\n".join(lines) + "\n"
+
+
+def loads_sidecar(text: str) -> ExperimentTable:
+    """Reconstruct the :class:`ExperimentTable` from sidecar text."""
+    records = [json.loads(line) for line in text.splitlines() if line]
+    if not records or records[0].get("kind") != "header":
+        raise ConfigurationError("sidecar text has no header line")
+    header = records[0]
+    if header.get("schema") != SIDECAR_SCHEMA:
+        raise ConfigurationError(
+            f"sidecar schema {header.get('schema')!r} is not the "
+            f"supported version {SIDECAR_SCHEMA}")
+    table = ExperimentTable(header["experiment_id"], header["title"],
+                            header["figure"], list(header["columns"]))
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "row":
+            table.add(*[_decode_value(v) for v in record["values"]])
+        elif kind == "note":
+            table.note(record["text"])
+    if len(table.rows) != header.get("n_rows"):
+        raise ConfigurationError(
+            f"sidecar declares {header.get('n_rows')} row(s) but carries "
+            f"{len(table.rows)} — truncated file?")
+    return table
+
+
+def write_sidecar(table: ExperimentTable, path) -> Path:
+    """Write the sidecar for ``table`` to ``path`` and return it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dumps_sidecar(table), encoding="utf-8")
+    return target
+
+
+def read_sidecar(path) -> ExperimentTable:
+    """Load a sidecar file back into an :class:`ExperimentTable`."""
+    return loads_sidecar(Path(path).read_text(encoding="utf-8"))

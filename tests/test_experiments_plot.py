@@ -1,4 +1,4 @@
-"""Tests for the ASCII chart renderer."""
+"""Tests for the ASCII chart renderer and the matplotlib gate."""
 
 import math
 
@@ -6,7 +6,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentTable
-from repro.experiments.plot import render_chart
+from repro.experiments.plot import (
+    matplotlib_available,
+    render_chart,
+    save_figure_image,
+)
 from repro.experiments.runner import main as cli_main
 
 
@@ -80,3 +84,24 @@ def test_cli_plot_flag(capsys):
     out = capsys.readouterr().out
     assert "x: disk_cost" in out
     assert "max_throughput" in out
+
+
+class TestMatplotlibGate:
+    @pytest.mark.skipif(matplotlib_available(),
+                        reason="matplotlib installed")
+    def test_png_without_matplotlib_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="matplotlib"):
+            save_figure_image(_table(), tmp_path / "t01.png")
+
+    @pytest.mark.skipif(not matplotlib_available(),
+                        reason="needs matplotlib")
+    def test_backend_is_headless_and_figures_are_closed(self, tmp_path):
+        import matplotlib
+        import matplotlib.pyplot as plt
+
+        path = save_figure_image(_table(), tmp_path / "t01.png")
+        assert path.exists()
+        # save_figure_image must have forced the headless backend
+        # before pyplot's first import, and closed its figure.
+        assert matplotlib.get_backend().lower() == "agg"
+        assert plt.get_fignums() == []

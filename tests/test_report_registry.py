@@ -1,0 +1,70 @@
+"""Figure-registry invariants: completeness, uniqueness, declarations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS
+from repro.report import FIGURES, all_figure_ids, get_figure
+from repro.report.registry import _ENTRIES, ABSOLUTE, RELATIVE
+
+
+class TestCompleteness:
+    def test_every_experiment_has_exactly_one_figure(self):
+        assert set(FIGURES) == set(EXPERIMENTS)
+        ids = [spec.figure_id for spec in _ENTRIES]
+        assert len(ids) == len(set(ids)), "duplicate figure registration"
+
+    def test_every_paper_figure_is_registered(self):
+        expected = {f"fig{n:02d}" for n in range(3, 17)}
+        assert set(all_figure_ids("paper")) == expected
+
+    def test_every_extension_figure_is_registered(self):
+        assert set(all_figure_ids("ext")) == {
+            f"ext{n:02d}" for n in range(1, 7)}
+
+    def test_kinds_partition_the_registry(self):
+        assert (set(all_figure_ids("paper")) | set(all_figure_ids("ext"))
+                == set(all_figure_ids()))
+
+
+class TestDeclarations:
+    def test_lookup_and_experiment_link(self):
+        spec = get_figure("fig03")
+        assert spec.kind == "paper"
+        assert spec.experiment.experiment_id == "fig03"
+        assert spec.has_simulation is True
+        assert spec.title
+
+    def test_unknown_figure_is_a_readable_error(self):
+        with pytest.raises(ConfigurationError, match="fig99"):
+            get_figure("fig99")
+
+    def test_comparison_metrics_are_known(self):
+        for spec in FIGURES.values():
+            for comparison in spec.comparisons:
+                assert comparison.metric in (RELATIVE, ABSOLUTE)
+                assert comparison.threshold > 0
+                assert comparison.model_column != comparison.sim_column
+
+    def test_simulated_paper_response_figures_declare_comparisons(self):
+        # The figures whose paper originals overlay simulation points
+        # must carry at least one model-vs-sim pair to validate.
+        for figure_id in ("fig03", "fig04", "fig05", "fig06", "fig07",
+                          "fig08", "fig09", "fig10"):
+            assert get_figure(figure_id).comparisons, figure_id
+
+    def test_comparison_columns_exist_in_generated_tables(self):
+        # Cheap analytical run: the model column must exist; the sim
+        # column is conditional on simulate=True by design.
+        spec = get_figure("fig03")
+        table = spec.run(scale=0.02, simulate=False)
+        for comparison in spec.comparisons:
+            assert comparison.model_column in table.columns
+
+    def test_plot_columns_reference_real_columns(self):
+        spec = get_figure("fig09")
+        table = spec.run(scale=0.02, simulate=False)
+        assert spec.plot_columns is not None
+        # At least the analytical series of the declared plot columns
+        # must exist even in a no-sim run.
+        assert any(c in table.columns for c in spec.plot_columns)

@@ -1,0 +1,78 @@
+"""NDJSON figure sidecars: round trip, determinism, corruption."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentTable
+from repro.report import (
+    dumps_sidecar,
+    loads_sidecar,
+    read_sidecar,
+    write_sidecar,
+)
+
+
+def _table() -> ExperimentTable:
+    table = ExperimentTable("fig99", "A synthetic figure", "Figure 99",
+                            ["arrival_rate", "response", "rho"])
+    table.add(1.0, 12.5, 0.25)
+    table.add(2.0, math.inf, 0.9)
+    table.add(3.0, math.nan, -math.inf)
+    table.note("synthetic data for the sidecar tests")
+    return table
+
+
+class TestRoundTrip:
+    def test_values_notes_and_identity_survive(self):
+        loaded = loads_sidecar(dumps_sidecar(_table()))
+        assert loaded.experiment_id == "fig99"
+        assert loaded.figure == "Figure 99"
+        assert loaded.columns == ["arrival_rate", "response", "rho"]
+        assert list(loaded.notes) == ["synthetic data for the sidecar tests"]
+        assert tuple(loaded.rows[0]) == (1.0, 12.5, 0.25)
+        assert loaded.rows[1][1] == math.inf
+        assert math.isnan(loaded.rows[2][1])
+        assert loaded.rows[2][2] == -math.inf
+
+    def test_file_round_trip(self, tmp_path):
+        path = write_sidecar(_table(), tmp_path / "sub" / "fig99.ndjson")
+        assert path.exists()
+        loaded = read_sidecar(path)
+        assert tuple(loaded.rows[0]) == (1.0, 12.5, 0.25)
+
+
+class TestDeterminism:
+    def test_dumps_is_byte_stable(self):
+        assert dumps_sidecar(_table()) == dumps_sidecar(_table())
+
+    def test_every_line_is_strict_json(self):
+        # allow_nan=False is part of the contract: naive json.loads of
+        # each line must succeed, non-finite values arrive as strings.
+        for line in dumps_sidecar(_table()).splitlines():
+            record = json.loads(line)
+            assert record["kind"] in ("header", "row", "note")
+
+
+class TestCorruption:
+    def test_missing_header_raises(self):
+        body = dumps_sidecar(_table()).splitlines()[1]
+        with pytest.raises(ConfigurationError, match="header"):
+            loads_sidecar(body + "\n")
+
+    def test_unsupported_schema_raises(self):
+        text = dumps_sidecar(_table())
+        header = json.loads(text.splitlines()[0])
+        header["schema"] = 999
+        patched = "\n".join([json.dumps(header)]
+                            + text.splitlines()[1:]) + "\n"
+        with pytest.raises(ConfigurationError, match="schema"):
+            loads_sidecar(patched)
+
+    def test_truncated_rows_raise(self):
+        lines = dumps_sidecar(_table()).splitlines()
+        truncated = "\n".join(lines[:-2]) + "\n"  # drop a row + the note
+        with pytest.raises(ConfigurationError, match="truncated"):
+            loads_sidecar(truncated)

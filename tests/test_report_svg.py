@@ -1,0 +1,96 @@
+"""The dependency-free SVG renderer and the publication theme."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentTable
+from repro.report import PUBLICATION, render_svg
+from repro.report.svg import nice_ticks
+from repro.report.theme import Theme
+
+
+def _table():
+    table = ExperimentTable("t01", "a test <series>", "Test",
+                            ["arrival_rate", "alpha", "beta"])
+    for x in range(8):
+        table.add(float(x), float(x * x), 50.0 - x)
+    return table
+
+
+class TestRenderSvg:
+    def test_document_structure(self):
+        text = render_svg(_table())
+        assert text.startswith('<svg xmlns="http://www.w3.org/2000/svg"')
+        assert text.rstrip().endswith("</svg>")
+        assert "<polyline" in text
+        assert "arrival_rate" in text
+        # Title is escaped, never raw markup.
+        assert "a test &lt;series&gt;" in text
+        assert "a test <series>" not in text
+
+    def test_deterministic_output(self):
+        assert render_svg(_table()) == render_svg(_table())
+
+    def test_theme_colors_and_markers_used(self):
+        text = render_svg(_table())
+        assert PUBLICATION.color(0) in text
+        assert PUBLICATION.color(1) in text
+
+    def test_saturated_points_render_arrows(self):
+        table = ExperimentTable("t02", "saturating", "Test", ["x", "y"])
+        table.add(0.0, 1.0)
+        table.add(1.0, math.inf)
+        text = render_svg(table)
+        assert "saturated" in text  # the legend note
+        assert 'opacity="0.85"' in text  # the arrow glyph
+
+    def test_nan_points_are_skipped(self):
+        table = ExperimentTable("t03", "gappy", "Test", ["x", "y"])
+        table.add(0.0, 1.0)
+        table.add(1.0, math.nan)
+        table.add(2.0, 3.0)
+        assert "<polyline" in render_svg(table)
+
+    def test_column_subset(self):
+        text = render_svg(_table(), y_columns=["beta"])
+        assert "beta" in text
+        assert ">alpha<" not in text
+
+    def test_contract_matches_ascii_plotter(self):
+        with pytest.raises(ConfigurationError):
+            render_svg(ExperimentTable("t04", "empty", "Test", ["x", "y"]))
+        with pytest.raises(ConfigurationError):
+            render_svg(_table(), y_columns=["gamma"])
+        all_inf = ExperimentTable("t05", "inf", "Test", ["x", "y"])
+        all_inf.add(0.0, math.inf)
+        with pytest.raises(ConfigurationError):
+            render_svg(all_inf)
+
+    def test_custom_theme_dimensions(self):
+        theme = Theme(width=400, height=300)
+        text = render_svg(_table(), theme=theme)
+        assert 'width="400"' in text
+        assert 'height="300"' in text
+
+
+class TestNiceTicks:
+    def test_covers_range_on_125_grid(self):
+        ticks = nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_labels_come_out_clean(self):
+        for tick in nice_ticks(0.0, 1.5):
+            assert len(f"{tick:g}") <= 6
+
+    def test_degenerate_range(self):
+        assert nice_ticks(2.0, 2.0)
+
+    def test_nonfinite_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nice_ticks(0.0, math.inf)
