@@ -17,7 +17,16 @@ Two layers of measurement:
    per-dispatch amortization win; lane 0 is spot-checked bit-identical
    against the oracle inside the bench itself.
 
-3. **End-to-end ops/sec per algorithm** — wall-clock operations per
+3. **Vectorized B-tree descent kernel** — full search/insert
+   replications (lock-coupled and optimistic descents, node occupancy,
+   splits, redo descents) through :mod:`repro.des.vector_btree` at
+   several batch widths *and* at the width the measured cost model
+   picks (:mod:`repro.des.autotune`), against the scalar
+   simulator-oracle baseline on the identical schedule.  Lane 0 is
+   asserted bit-identical in-bench; the ``autotuned`` entries are the
+   ``--min-vec-speedup`` gate's subject alongside the lock microbench.
+
+4. **End-to-end ops/sec per algorithm** — wall-clock operations per
    second of :func:`repro.simulator.run_simulation` at a fixed small
    scale for the three core algorithms.  These track whole-stack
    throughput (tree + locks + metrics on top of the kernel).
@@ -72,6 +81,13 @@ VEC_BATCH_SIZES = (8, 32, 128)
 VEC_BASE_ITERS = 250
 VEC_SCALAR_LANES = 4
 
+#: B-tree descent bench shape: widths swept (the autotuned width is
+#: benched too when it differs), per-process operation count at scale
+#: 1.0, scalar-oracle baseline lanes.
+BTREE_BATCH_SIZES = (32, 128, 1024)
+BTREE_BASE_ITERS = 50
+BTREE_SCALAR_LANES = 4
+
 ALGO_BENCHES = ("naive-lock-coupling", "optimistic-descent", "link-type")
 
 
@@ -87,15 +103,13 @@ def _git_rev() -> str:
 
 def _stamp(bench: dict) -> dict:
     """Per-bench provenance: when this entry was measured and at what
-    revision (file-level metadata went stale whenever a single bench
-    was re-run)."""
+    revision.  ``HEAD`` is resolved here, at emit time — a module-level
+    constant once froze the rev of whatever checkout first imported the
+    bench, so regenerated entries kept reporting the seed commit."""
     bench["generated_at"] = datetime.now(timezone.utc).isoformat(
         timespec="seconds")
-    bench["git_rev"] = GIT_REV
+    bench["git_rev"] = _git_rev()
     return bench
-
-
-GIT_REV = _git_rev()
 
 
 def _hold(i: int, j: int) -> float:
@@ -234,6 +248,86 @@ def bench_vectorized(scale: float, repeat: int) -> list:
     return benches
 
 
+def bench_btree_vectorized(scale: float, repeat: int) -> list:
+    """Events/sec of the vectorized B-tree descent kernel per protocol,
+    at the swept widths plus the autotuned width, vs the scalar
+    simulator-oracle baseline on the identical schedule.
+
+    Schedule-table generation is excluded from every timing (identical
+    work on both sides); the baseline replays the oracle lanes
+    sequentially, which matches the lane-multiplexed scalar path to
+    within its geometric frontier amortization (see
+    ``docs/performance.md``).
+    """
+    from repro.des.autotune import calibrate, choose_width
+    from repro.des.vector_btree import (
+        PROTOCOLS,
+        BTreeDescentSpec,
+        assert_btree_equivalent,
+        run_btree_vectorized,
+        run_scalar_btree_reference,
+    )
+    iterations = max(4, int(BTREE_BASE_ITERS * scale))
+    # One calibration covers both protocols; the chosen width is the
+    # conservative cross-protocol pick — exactly what run_batch's
+    # batch="auto" would use.
+    calibration = calibrate(BTreeDescentSpec(iterations=iterations))
+    auto_width = choose_width(calibration, max(BTREE_BATCH_SIZES))
+    benches = []
+    for protocol in PROTOCOLS:
+        spec = BTreeDescentSpec(protocol=protocol, iterations=iterations)
+        widths = sorted(set(BTREE_BATCH_SIZES) | {auto_width})
+
+        scalar_tables = spec.tables(BTREE_SCALAR_LANES)
+        oracle = [run_scalar_btree_reference(spec, lane,
+                                             tables=scalar_tables)
+                  for lane in range(BTREE_SCALAR_LANES)]  # warms the path
+        best_scalar = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            oracle = [run_scalar_btree_reference(spec, lane,
+                                                 tables=scalar_tables)
+                      for lane in range(BTREE_SCALAR_LANES)]
+            best_scalar = min(best_scalar, time.perf_counter() - start)
+        scalar_eps = sum(s.events for s in oracle) / best_scalar
+
+        for width in widths:
+            tables = spec.tables(width)
+            run_btree_vectorized(spec, width, tables=tables)  # warm
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                stats = run_btree_vectorized(spec, width, tables=tables)
+                best = min(best, time.perf_counter() - start)
+            # Same schedule as the scalar oracle, or the numbers lie.
+            assert_btree_equivalent(stats, oracle[:1], lanes=[0])
+            eps = stats.total_events / best
+            benches.append({
+                "name": f"kernel_events_btree_{protocol}_b{width}",
+                "kind": "kernel_events_btree_vectorized",
+                "protocol": protocol,
+                "scale": scale,
+                "processes": spec.n_procs,
+                "iterations_per_process": iterations,
+                "batch": width,
+                "autotuned": width == auto_width,
+                "events": stats.total_events,
+                "dispatches": stats.dispatches,
+                "mean_live_lanes": round(stats.mean_live_lanes, 2),
+                "wall_s": round(best, 6),
+                "events_per_sec": round(eps, 1),
+                "scalar_events_per_sec": round(scalar_eps, 1),
+                "speedup_vs_scalar": round(eps / scalar_eps, 3),
+                "calibration": {
+                    "overhead_per_dispatch":
+                        calibration.entries[protocol].overhead_per_dispatch,
+                    "cost_per_lane_dispatch":
+                        calibration.entries[protocol].cost_per_lane_dispatch,
+                },
+            })
+    return benches
+
+
 def bench_algorithm(algorithm: str, scale: float) -> dict:
     """Wall-clock ops/sec of one full-stack simulator run."""
     n_operations = max(50, int(4_000 * scale))
@@ -291,6 +385,15 @@ def main(argv=None) -> int:
               f"(scalar {bench['scalar_events_per_sec']:,.0f} ev/s, "
               f"speedup {bench['speedup_vs_scalar']:.2f}x)")
     benches.extend(vec_benches)
+    btree_benches = [_stamp(bench) for bench
+                     in bench_btree_vectorized(args.scale, args.repeat)]
+    for bench in btree_benches:
+        tag = " auto" if bench["autotuned"] else ""
+        print(f"[btree {bench['protocol'][:4]} b={bench['batch']:>4}{tag:>5}]"
+              f"  {bench['events_per_sec']:>12,.0f} ev/s  "
+              f"(scalar {bench['scalar_events_per_sec']:,.0f} ev/s, "
+              f"speedup {bench['speedup_vs_scalar']:.2f}x)")
+    benches.extend(btree_benches)
     for algorithm in ALGO_BENCHES:
         bench = _stamp(bench_algorithm(algorithm, args.scale))
         benches.append(bench)
@@ -301,7 +404,7 @@ def main(argv=None) -> int:
         "schema_version": SCHEMA_VERSION,
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
-        "git_rev": GIT_REV,
+        "git_rev": _git_rev(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
@@ -319,6 +422,15 @@ def main(argv=None) -> int:
     if args.min_vec_speedup and best_vec < args.min_vec_speedup:
         print(f"FAIL: vectorized speedup {best_vec:.2f}x < required "
               f"{args.min_vec_speedup:.2f}x", file=sys.stderr)
+        return 1
+    # The same bar applies to the B-tree descent kernel — at the width
+    # the autotuner actually picks, for every protocol, not just the
+    # friendliest one.
+    worst_auto = min(b["speedup_vs_scalar"] for b in btree_benches
+                     if b["autotuned"])
+    if args.min_vec_speedup and worst_auto < args.min_vec_speedup:
+        print(f"FAIL: autotuned B-tree descent speedup {worst_auto:.2f}x "
+              f"< required {args.min_vec_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
 

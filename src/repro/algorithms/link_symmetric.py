@@ -14,5 +14,5 @@ SPEC = register_algorithm(AlgorithmSpec(
     ops_ref="repro.simulator.link_symmetric",
     has_link_crossings=True,
     supports_compaction=True,
-    vector_capable=True,
+    vector_tier="lock",
 ))

@@ -17,5 +17,5 @@ SPEC = register_algorithm(AlgorithmSpec(
     has_restarts=True,
     supports_closed=True,
     coupling_updates=True,
-    vector_capable=True,
+    vector_tier="full",
 ))

@@ -21,5 +21,5 @@ SPEC = register_algorithm(AlgorithmSpec(
     ops_ref="repro.simulator.optimistic_lock_coupling",
     has_restarts=True,
     coupling_updates=True,
-    vector_capable=True,
+    vector_tier="lock",
 ))

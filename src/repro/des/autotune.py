@@ -1,0 +1,328 @@
+"""Measured cost model for the replication batch width (``batch="auto"``).
+
+The lane-batched kernels (:mod:`repro.des.vector`,
+:mod:`repro.des.vector_btree`) pay a fixed interpreter/numpy dispatch
+cost per vector step plus a per-lane arithmetic cost, so batch wall
+clock is well modeled by::
+
+    T(B) = D * (a + b * B)
+
+where ``B`` is the batch width, ``D`` the number of vector dispatches
+(nearly width-independent — lanes advance in lockstep through the same
+level structure), ``a`` the per-dispatch overhead and ``b`` the
+marginal per-lane cost.  The scalar path runs the same schedule at a
+measured ``c`` events/second.  Two short probe runs at different widths
+solve for ``a`` and ``b`` exactly; the predicted speedup::
+
+    speedup(B) = (B * E) / T(B) / c        # E = events per lane
+
+then ranks candidate widths without ever hand-tuning the known
+crossover (historically between batch 8 and 32).
+
+:func:`calibrate` runs the probes, :func:`choose_width` picks the
+width, and the calibration persists as ``autotune.json`` next to the
+on-disk result cache so sweeps only pay the probe cost once per
+machine.  ``run_batch(batch="auto")`` / CLI ``--batch auto`` resolve
+through :func:`resolve_auto_width`.
+
+The chosen width only changes *scheduling*: per-seed results and cache
+keys are bit-identical at every width (the equivalence suites in
+``tests/test_batch_replications.py`` and ``tests/test_vector_btree.py``
+enforce this), so a stale or noisy calibration can cost wall clock but
+never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.des.vector_btree import (
+    PROTOCOLS,
+    BTreeDescentSpec,
+    run_btree_vectorized,
+    run_scalar_btree_reference,
+)
+
+#: On-disk calibration format version.
+CALIBRATION_SCHEMA = 1
+
+#: File name of the persisted calibration (lives in the cache root).
+CALIBRATION_FILENAME = "autotune.json"
+
+#: Widths :func:`choose_width` ranks — powers of two spanning the
+#: scalar/vector crossover up to the widths the bench exercises.
+WIDTH_CANDIDATES: Tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Default probe widths for the two-point fit.  Far enough apart that
+#: the per-lane slope dominates measurement noise — and wide enough
+#: that small-array numpy overhead has mostly amortized, since a slope
+#: measured at narrow widths overstates the marginal lane cost and
+#: makes the model too pessimistic about wide batches — while keeping
+#: the probe around a second.
+PROBE_WIDTHS: Tuple[int, int] = (32, 256)
+
+#: Timing repetitions per probe point (best-of, like the benches).
+PROBE_REPEATS = 3
+
+#: Floor for fitted cost coefficients: probe noise can produce a
+#: non-positive intercept or slope, which would predict unbounded
+#: speedup; clamping keeps the model sane (and conservative).
+_COST_FLOOR = 1e-9
+
+
+def _fingerprint() -> Dict[str, object]:
+    """What the calibration was measured on.  A mismatch (new machine,
+    new interpreter) invalidates the persisted file."""
+    return {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+@dataclass(frozen=True)
+class ProtocolCalibration:
+    """Fitted cost model for one descent protocol."""
+
+    protocol: str
+    #: ``a`` — seconds of width-independent overhead per vector dispatch.
+    overhead_per_dispatch: float
+    #: ``b`` — marginal seconds per lane per vector dispatch.
+    cost_per_lane_dispatch: float
+    #: ``D`` — vector dispatches per batch (measured at the wide probe).
+    dispatches: float
+    #: ``E`` — scalar-equivalent events per lane.
+    events_per_lane: float
+    #: ``c`` — measured scalar-path events per second.
+    scalar_events_per_sec: float
+
+    def predicted_events_per_sec(self, width: int) -> float:
+        """Modeled vector throughput at ``width`` lanes."""
+        seconds = self.dispatches * (self.overhead_per_dispatch
+                                     + self.cost_per_lane_dispatch * width)
+        if seconds <= 0.0:
+            return 0.0
+        return width * self.events_per_lane / seconds
+
+    def predicted_speedup(self, width: int) -> float:
+        """Modeled vector/scalar throughput ratio at ``width`` lanes."""
+        if self.scalar_events_per_sec <= 0.0:
+            return 0.0
+        return self.predicted_events_per_sec(width) \
+            / self.scalar_events_per_sec
+
+
+@dataclass(frozen=True)
+class BatchCalibration:
+    """One machine's measured batch cost model (all protocols)."""
+
+    entries: Dict[str, ProtocolCalibration]
+    probe_widths: Tuple[int, ...]
+    fingerprint: Dict[str, object]
+    generated_at: str
+    schema: int = CALIBRATION_SCHEMA
+
+    def speedup(self, width: int) -> float:
+        """The conservative (minimum-across-protocols) predicted
+        speedup at ``width``."""
+        if not self.entries:
+            return 0.0
+        return min(entry.predicted_speedup(width)
+                   for entry in self.entries.values())
+
+
+def calibrate(spec: Optional[BTreeDescentSpec] = None,
+              probe_widths: Sequence[int] = PROBE_WIDTHS,
+              repeats: int = PROBE_REPEATS,
+              ) -> BatchCalibration:
+    """Measure the cost model with short probe runs.
+
+    For each protocol: a scalar-oracle lane (``c`` and ``E``) plus a
+    vector run per probe width; the two ``T(B)/D(B)`` points solve
+    ``a`` and ``b``.  Every timing is best-of-``repeats`` (the first
+    repetition doubles as the warm-up), and schedule-table generation
+    is excluded from the timings on both sides — it is identical work
+    either way.
+    """
+    if len(probe_widths) != 2 or probe_widths[0] >= probe_widths[1]:
+        raise ValueError(
+            f"need two increasing probe widths, got {tuple(probe_widths)}")
+    base = spec if spec is not None else BTreeDescentSpec()
+    b_lo, b_hi = int(probe_widths[0]), int(probe_widths[1])
+    repeats = max(repeats, 1)
+    entries: Dict[str, ProtocolCalibration] = {}
+    for protocol in PROTOCOLS:
+        probe = BTreeDescentSpec(
+            protocol=protocol, levels=base.levels, order=base.order,
+            n_procs=base.n_procs, iterations=base.iterations,
+            insert_every=base.insert_every, seed=base.seed)
+
+        scalar_tables = probe.tables(1)
+        lane_stats = run_scalar_btree_reference(probe, 0,
+                                                tables=scalar_tables)
+        scalar_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            lane_stats = run_scalar_btree_reference(probe, 0,
+                                                    tables=scalar_tables)
+            scalar_seconds = min(scalar_seconds,
+                                 time.perf_counter() - start)
+        scalar_seconds = max(scalar_seconds, _COST_FLOOR)
+        events_per_lane = float(lane_stats.events)
+        scalar_rate = events_per_lane / scalar_seconds
+
+        per_dispatch = []
+        dispatches = 1.0
+        for width in (b_lo, b_hi):
+            tables = probe.tables(width)
+            stats = run_btree_vectorized(probe, width, tables=tables)
+            seconds = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                stats = run_btree_vectorized(probe, width, tables=tables)
+                seconds = min(seconds, time.perf_counter() - start)
+            seconds = max(seconds, _COST_FLOOR)
+            dispatches = float(max(stats.dispatches, 1))
+            per_dispatch.append(seconds / dispatches)
+
+        slope = (per_dispatch[1] - per_dispatch[0]) / (b_hi - b_lo)
+        slope = max(slope, _COST_FLOOR)
+        intercept = max(per_dispatch[0] - slope * b_lo, _COST_FLOOR)
+        entries[protocol] = ProtocolCalibration(
+            protocol=protocol,
+            overhead_per_dispatch=intercept,
+            cost_per_lane_dispatch=slope,
+            dispatches=dispatches,
+            events_per_lane=events_per_lane,
+            scalar_events_per_sec=scalar_rate,
+        )
+    return BatchCalibration(
+        entries=entries,
+        probe_widths=(b_lo, b_hi),
+        fingerprint=_fingerprint(),
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    )
+
+
+def choose_width(calibration: BatchCalibration, n_tasks: int) -> int:
+    """The calibrated batch width for a group of ``n_tasks``
+    replications.
+
+    Ranks :data:`WIDTH_CANDIDATES` (clamped to ``n_tasks`` — lanes
+    beyond the task count would idle) by the conservative predicted
+    speedup; falls back to the scalar path (width 1) when no candidate
+    is predicted to beat it.
+    """
+    if n_tasks <= 1:
+        return 1
+    candidates = [width for width in WIDTH_CANDIDATES if width <= n_tasks]
+    if not candidates:
+        candidates = [n_tasks]
+    best_width, best_speedup = 1, 1.0
+    for width in candidates:
+        speedup = calibration.speedup(width)
+        if speedup > best_speedup:
+            best_width, best_speedup = width, speedup
+    return best_width
+
+
+# ----------------------------------------------------------------------
+# Persistence (next to the result cache)
+# ----------------------------------------------------------------------
+def calibration_path(cache=None) -> Path:
+    """Where the calibration lives: the result cache's directory when
+    one is installed, else the default cache root."""
+    if cache is not None and getattr(cache, "directory", None) is not None:
+        root = Path(cache.directory)
+    else:
+        from repro.parallel.cache import default_cache_dir
+        root = default_cache_dir()
+    return root / CALIBRATION_FILENAME
+
+
+def save_calibration(calibration: BatchCalibration, path: Path) -> None:
+    """Persist atomically (temp file + rename, like cache entries)."""
+    payload = {
+        "schema": calibration.schema,
+        "generated_at": calibration.generated_at,
+        "fingerprint": calibration.fingerprint,
+        "probe_widths": list(calibration.probe_widths),
+        "entries": {
+            name: {
+                "protocol": entry.protocol,
+                "overhead_per_dispatch": entry.overhead_per_dispatch,
+                "cost_per_lane_dispatch": entry.cost_per_lane_dispatch,
+                "dispatches": entry.dispatches,
+                "events_per_lane": entry.events_per_lane,
+                "scalar_events_per_sec": entry.scalar_events_per_sec,
+            }
+            for name, entry in sorted(calibration.entries.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def load_calibration(path: Path) -> Optional[BatchCalibration]:
+    """The persisted calibration, or None when it is missing, corrupt,
+    from another schema, or measured on a different machine (any of
+    which means: re-probe)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != CALIBRATION_SCHEMA \
+            or payload.get("fingerprint") != _fingerprint():
+        return None
+    try:
+        entries = {
+            name: ProtocolCalibration(
+                protocol=str(raw["protocol"]),
+                overhead_per_dispatch=float(raw["overhead_per_dispatch"]),
+                cost_per_lane_dispatch=float(raw["cost_per_lane_dispatch"]),
+                dispatches=float(raw["dispatches"]),
+                events_per_lane=float(raw["events_per_lane"]),
+                scalar_events_per_sec=float(raw["scalar_events_per_sec"]),
+            )
+            for name, raw in payload["entries"].items()
+        }
+        probe_widths = tuple(int(w) for w in payload["probe_widths"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not entries:
+        return None
+    return BatchCalibration(
+        entries=entries, probe_widths=probe_widths,
+        fingerprint=payload["fingerprint"],
+        generated_at=str(payload.get("generated_at", "")),
+    )
+
+
+def resolve_auto_width(n_tasks: int, cache=None) -> int:
+    """The effective width for ``batch="auto"``.
+
+    Loads the persisted calibration (probing and persisting one on
+    first use — or whenever the machine fingerprint changed) and
+    returns :func:`choose_width`.  Persistence is best-effort: on an
+    unwritable cache directory the fresh calibration is still used,
+    just not saved.
+    """
+    path = calibration_path(cache)
+    calibration = load_calibration(path)
+    if calibration is None:
+        calibration = calibrate()
+        try:
+            save_calibration(calibration, path)
+        except OSError:
+            pass
+    return choose_width(calibration, n_tasks)

@@ -1,0 +1,1007 @@
+"""Vectorized full-B-tree descent kernel (struct-of-arrays).
+
+:mod:`repro.des.vector` vectorizes the *single-lock* contention
+workload; this module extends the same struct-of-arrays discipline to
+whole B-tree replications: ``n_lanes`` independent trees — per-lane
+node occupancy, per-node FCFS lock queues, per-process descent
+position/phase vectors — advance together, one interpreted dispatch
+serving every lane.  Two descent protocols are vectorized, modelling
+the two algorithm families whose lock schedules the scalar simulator
+executes (paper Section 4):
+
+* ``"coupling"`` — naive lock-coupling: searches R-couple root→leaf;
+  inserts W-couple, releasing each ancestor as soon as the child is
+  safe, and keep the parent across an unsafe leaf's modify+split.
+* ``"optimistic"`` — optimistic descent: inserts R-couple to the
+  leaf's parent, W-lock the leaf, and fall back to a full W-coupled
+  redo descent when the leaf turns out to be unsafe.
+
+Every operation draws one uniform key; the node visited at level ``d``
+is ``floor(key * n_nodes[d])``, so descent paths are hierarchically
+consistent the way a range-partitioned tree's are.  All durations are
+continuous per-lane pseudo-random draws seeded per lane (lane-prefix
+property: lane ``k``'s schedule is independent of the batch width).
+
+The step loop pops the earliest pending timer of **every** live lane
+per iteration, then drains the zero-time cascade it triggers — lock
+releases dispatch FCFS grant waves whose woken processes are queued in
+a per-lane FIFO and continued in wake order, exactly reproducing the
+scalar engine's same-timestamp heap ordering (the event that fired
+runs to completion first, resumed waiters follow in grant order).
+That makes the kernel *bit-exact* against the scalar oracle:
+:func:`run_scalar_btree_reference` replays any lane through the real
+:class:`~repro.des.engine.Simulator` + :class:`~repro.des.rwlock.RWLock`
+machinery and :func:`assert_btree_equivalent` compares end times,
+event counts, per-level grant counts, splits, redos and per-process
+queueing-delay totals **exactly** — both kernels perform the same
+IEEE-754 additions in the same per-process order.
+
+See ``docs/performance.md`` ("Vectorized B-tree descent kernel") for
+measured speedups and :mod:`repro.des.autotune` for the cost model
+that picks the batch width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOLS",
+    "BTreeDescentSpec",
+    "BTreeTables",
+    "BTreeLaneStats",
+    "VectorBTreeStats",
+    "VectorBTreeKernel",
+    "run_btree_vectorized",
+    "run_scalar_btree_reference",
+    "assert_btree_equivalent",
+]
+
+PROTOCOLS = ("coupling", "optimistic")
+
+_INF = math.inf
+
+#: Process phases — the continuation its next timer (or grant) runs.
+PH_THINK = 0   # timer: think end -> request the root
+PH_SVC = 1     # timer: node service end -> request child / finish search
+PH_MOD = 2     # timer: leaf modify end -> split, finish, or redo
+PH_SPLIT = 3   # timer: split service end -> release parent+leaf, finish
+PH_WAIT = 4    # queued on a node; no timer, FCFS key in ``rt``
+PH_DONE = 5
+
+#: Operation kinds (``opk``).
+OP_SEARCH = 0     # R-coupled descent, all levels
+OP_INS_W = 1      # W-coupled insert descent (coupling, or optimistic redo)
+OP_INS_OPT = 2    # optimistic first pass: R-couple, W-lock the leaf
+
+
+@dataclass(frozen=True)
+class BTreeDescentSpec:
+    """The replicated B-tree descent workload.
+
+    Every lane runs ``n_procs`` processes for ``iterations`` operations
+    each against one static tree of ``levels[d]`` nodes per level
+    (root→leaf, ``levels[0] == 1``).  Operation ``j`` of process ``p``
+    is an insert iff ``(p + j) % insert_every == 0`` (0 = searches
+    only); leaves start at ``order // 2`` entries, an insert into a
+    leaf at ``order`` entries is unsafe and triggers a split back to
+    ``(order + 1) // 2``.  The tree *shape* is static — splits reset
+    leaf occupancy rather than growing the node set — which keeps the
+    state array-shaped while exercising the safe/unsafe, split and
+    redo machinery of both protocols.
+    """
+
+    protocol: str = "coupling"
+    levels: Tuple[int, ...] = (1, 4, 16)
+    order: int = 8
+    n_procs: int = 24
+    iterations: int = 50
+    insert_every: int = 3
+    seed: int = 0xB7E2
+    think_low: float = 0.0005
+    think_high: float = 0.004
+    svc_low: float = 0.001
+    svc_high: float = 0.003
+    mod_low: float = 0.001
+    mod_high: float = 0.003
+    split_low: float = 0.002
+    split_high: float = 0.006
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"expected one of {PROTOCOLS}")
+        if len(self.levels) < 2 or self.levels[0] != 1 \
+                or any(n < 1 for n in self.levels):
+            raise ValueError(f"levels must be (1, ..., >=1) with height "
+                             f">= 2, got {self.levels!r}")
+        if self.order < 1 or self.n_procs < 1 or self.iterations < 1:
+            raise ValueError("order, n_procs and iterations must be >= 1")
+        if self.insert_every < 0:
+            raise ValueError(f"insert_every must be >= 0, "
+                             f"got {self.insert_every}")
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(self.levels)
+
+    @property
+    def leaf_offset(self) -> int:
+        """Global node id of the first leaf."""
+        return self.n_nodes - self.levels[-1]
+
+    @property
+    def initial_occupancy(self) -> int:
+        return self.order // 2
+
+    @property
+    def post_split_occupancy(self) -> int:
+        return (self.order + 1) // 2
+
+    def node_offsets(self) -> Tuple[int, ...]:
+        """Global node id of the first node of each level."""
+        offsets, total = [], 0
+        for count in self.levels:
+            offsets.append(total)
+            total += count
+        return tuple(offsets)
+
+    def insert_mask(self) -> np.ndarray:
+        """Boolean ``(n_procs, iterations)`` mask of the insert ops."""
+        if self.insert_every <= 0:
+            return np.zeros((self.n_procs, self.iterations), dtype=bool)
+        ij = np.add.outer(np.arange(self.n_procs),
+                          np.arange(self.iterations))
+        return ij % self.insert_every == 0
+
+    def tables(self, n_lanes: int) -> "BTreeTables":
+        """Per-lane schedule tables (lane-prefix property).
+
+        Lane ``k``'s draws come from ``default_rng(seed + k)`` in a
+        fixed order — key, think, service, modify, split — so they are
+        independent of ``n_lanes`` and of the protocol.
+        """
+        P, J, H = self.n_procs, self.iterations, self.n_levels
+        think = np.empty((n_lanes, P, J))
+        svc = np.empty((n_lanes, P, J, 2, H))
+        mod = np.empty((n_lanes, P, J, 2))
+        split = np.empty((n_lanes, P, J))
+        path = np.empty((n_lanes, P, J, H), dtype=np.int64)
+        offsets = self.node_offsets()
+        for lane in range(n_lanes):
+            rng = np.random.default_rng(self.seed + lane)
+            key = rng.random((P, J))
+            think[lane] = rng.uniform(self.think_low, self.think_high,
+                                      (P, J))
+            svc[lane] = rng.uniform(self.svc_low, self.svc_high,
+                                    (P, J, 2, H))
+            mod[lane] = rng.uniform(self.mod_low, self.mod_high, (P, J, 2))
+            split[lane] = rng.uniform(self.split_low, self.split_high,
+                                      (P, J))
+            for d in range(H):
+                path[lane, :, :, d] = offsets[d] \
+                    + (key * self.levels[d]).astype(np.int64)
+        return BTreeTables(think=think, svc=svc, mod=mod, split=split,
+                           path=path)
+
+
+@dataclass(frozen=True)
+class BTreeTables:
+    """Schedule tables shared by the vector kernel and the oracle."""
+
+    think: np.ndarray    # (L, P, J)
+    svc: np.ndarray      # (L, P, J, 2, H) — pass 0 / redo pass 1
+    mod: np.ndarray      # (L, P, J, 2)
+    split: np.ndarray    # (L, P, J)
+    path: np.ndarray     # (L, P, J, H) global node ids, root -> leaf
+
+
+@dataclass(frozen=True)
+class BTreeLaneStats:
+    """Observables of one replication, comparable across kernels.
+
+    Every field — including the float ones — must match the scalar
+    oracle *exactly*: both kernels perform the same additions in the
+    same per-process order.
+    """
+
+    end_time: float
+    events: int
+    grants_read: Tuple[int, ...]     # per level, root -> leaf
+    grants_write: Tuple[int, ...]
+    splits: int
+    redos: int
+    wait_total: float
+
+
+@dataclass(frozen=True)
+class VectorBTreeStats:
+    """Per-lane observables of one vectorized batch run."""
+
+    n_lanes: int
+    end_time: np.ndarray
+    events: np.ndarray
+    grants_read: np.ndarray      # (L, H)
+    grants_write: np.ndarray     # (L, H)
+    splits: np.ndarray
+    redos: np.ndarray
+    wait_pp: np.ndarray          # (L, P) per-process queueing delays
+    #: Interpreted step-loop iterations the batch consumed — the number
+    #: of vector dispatches standing in for ``events.sum()`` scalar
+    #: dispatches.
+    dispatches: int
+    #: Sum over dispatches of the live-lane count; ``lane_rounds /
+    #: dispatches`` is the mean batch occupancy (lane-occupancy decay
+    #: near the end of a run is what erodes wide-batch speedup).
+    lane_rounds: int
+    #: Same-timestamp cascade rounds (grant-wave continuations).
+    cascade_rounds: int
+
+    @property
+    def total_events(self) -> int:
+        return int(self.events.sum())
+
+    @property
+    def mean_live_lanes(self) -> float:
+        return self.lane_rounds / self.dispatches if self.dispatches else 0.0
+
+    def lane(self, index: int) -> BTreeLaneStats:
+        total = 0.0
+        for wait in self.wait_pp[index].tolist():
+            total += wait
+        return BTreeLaneStats(
+            end_time=float(self.end_time[index]),
+            events=int(self.events[index]),
+            grants_read=tuple(int(g) for g in self.grants_read[index]),
+            grants_write=tuple(int(g) for g in self.grants_write[index]),
+            splits=int(self.splits[index]),
+            redos=int(self.redos[index]),
+            wait_total=total,
+        )
+
+
+class VectorBTreeKernel:
+    """One batch execution of ``spec`` over ``n_lanes`` replications.
+
+    All state is struct-of-arrays; :meth:`run` is the masked step
+    loop.  Single-use: construct, ``run()``, read the returned stats.
+    """
+
+    def __init__(self, spec: BTreeDescentSpec, n_lanes: int,
+                 tables: Optional[BTreeTables] = None) -> None:
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        self.spec = spec
+        self.n_lanes = n_lanes
+        tab = tables if tables is not None else spec.tables(n_lanes)
+        expected = (n_lanes, spec.n_procs, spec.iterations)
+        if tab.think.shape != expected:
+            raise ValueError(
+                f"schedule tables {tab.think.shape} do not match "
+                f"(n_lanes, n_procs, iterations)={expected}")
+        self._tab = tab
+
+    # ------------------------------------------------------------------
+    # State setup
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        spec = self.spec
+        L, P = self.n_lanes, spec.n_procs
+        N, H = spec.n_nodes, spec.n_levels
+        J = spec.iterations
+        self.P, self.J, self.H, self.N = P, J, H, N
+        self.order = spec.order
+        self.leaf_off = spec.leaf_offset
+        self.n_leaf = spec.levels[-1]
+        self._post_split = spec.post_split_occupancy
+        self._proto_k = OP_INS_W if spec.protocol == "coupling" \
+            else OP_INS_OPT
+        tab = self._tab
+        LP = L * P
+        # Flat 1-D schedule tables: every hot gather is a single-axis
+        # ``take`` on a computed integer index — measurably cheaper in
+        # the interpreter than multi-axis fancy indexing.  Index maps:
+        # think/split ``g*J + j``; svc ``((g*J + j)*2 + pas)*H + d``;
+        # mod ``(g*J + j)*2 + pas``; path ``(g*J + j)*H + d`` with
+        # ``g = lane * P + p`` the global process id.
+        self.think_t = np.ascontiguousarray(
+            tab.think, dtype=np.float64).reshape(-1)
+        self.svc_t = np.ascontiguousarray(
+            tab.svc, dtype=np.float64).reshape(-1)
+        self.mod_t = np.ascontiguousarray(
+            tab.mod, dtype=np.float64).reshape(-1)
+        self.spl_t = np.ascontiguousarray(
+            tab.split, dtype=np.float64).reshape(-1)
+        self.path_t = np.ascontiguousarray(
+            tab.path, dtype=np.int64).reshape(-1)
+        self.isins_t = np.ascontiguousarray(
+            spec.insert_mask()).reshape(-1)          # idx: p*J + j
+
+        # Per-process state (flat over g = lane * P + p).
+        self.wake = np.ascontiguousarray(tab.think[:, :, 0])
+        self.wake_f = self.wake.reshape(LP)       # shared memory view
+        self.phase = np.full(LP, PH_THINK, dtype=np.int8)
+        self.curj = np.zeros(LP, dtype=np.int64)
+        self.opk = np.zeros(LP, dtype=np.int8)
+        self.pas = np.zeros(LP, dtype=np.int64)
+        self.dep = np.zeros(LP, dtype=np.int64)
+        self.heldp = np.full(LP, -1, dtype=np.int64)
+        # FCFS queue state: request-time sort keys instead of linked
+        # queues (what makes grant waves vectorizable, as in
+        # repro.des.vector).  ``wait_pair`` holds the flat lock id
+        # ``lane * N + node`` a process waits on (-1 when not waiting).
+        self.rt = np.full(LP, _INF)
+        self.wait_pair = np.full(LP, -1, dtype=np.int64)
+        self.wait_write = np.zeros(LP, dtype=bool)
+        # Per-node lock state, flat over ``lane * N + node``.
+        self.nread = np.zeros(L * N, dtype=np.int64)
+        self.wheld = np.zeros(L * N, dtype=bool)
+        self.nqueue = np.zeros(L * N, dtype=np.int64)
+        # Per-leaf occupancy, flat over ``lane * n_leaf + leaf_index``.
+        self.occ = np.full(L * self.n_leaf, spec.initial_occupancy,
+                           dtype=np.int64)
+        self.level_of = np.repeat(np.arange(H), spec.levels)
+        self.level_fn = np.tile(self.level_of, L)  # level of flat node id
+        # Same-timestamp cascade FIFO (granted waiters, wake order).
+        self.fq_f = np.zeros(LP, dtype=np.int64)   # lane row: [l*P, l*P+P)
+        self.fh = np.zeros(L, dtype=np.int64)
+        self.ft = np.zeros(L, dtype=np.int64)
+        # Tallies.  ``imm_g`` counts immediate (uncontended) grants;
+        # the scalar heap-push event count is recovered in closed form
+        # at the end of :meth:`run` — every grant starts exactly one
+        # timer and every *wave* grant additionally costs one resume
+        # push, so no per-dispatch event bookkeeping is needed.
+        self.imm_g = np.zeros(L, dtype=np.int64)
+        self.end_time = np.zeros(L)
+        self.grants_r = np.zeros(L * H, dtype=np.int64)
+        self.grants_w = np.zeros(L * H, dtype=np.int64)
+        self.splits = np.zeros(L, dtype=np.int64)
+        self.redos = np.zeros(L, dtype=np.int64)
+        self.wait_pp = np.zeros(LP)
+        self.n_done = np.zeros(L, dtype=np.int64)
+        self.active = np.ones(L, dtype=bool)
+        self._live = np.arange(L)
+        self._rowP = np.arange(L) * P              # lane -> first proc id
+        self._colsrow = np.arange(P)[None, :]
+        self.dispatches = 0
+        self.lane_rounds = 0
+        self.cascade_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Lock primitives (batched; lanes may repeat within a call)
+    # ------------------------------------------------------------------
+    def _release_batch(self, lanes: np.ndarray, nodes: np.ndarray,
+                       was_write, t_lanes: np.ndarray) -> None:
+        """Release one node per entry, then dispatch one FCFS grant
+        wave per *unique* released (lane, node) pair.
+
+        ``was_write`` is a bool array, or a plain bool when the whole
+        batch shares a mode.  Entries may repeat a lane (several
+        processes of one lane releasing at the same timestamp) and even
+        a node (two readers dropping a shared parent); same-timestamp
+        releases commute, so applying them all before computing the
+        waves reproduces the scalar engine's sequential dispatch
+        exactly.  Each wave grants the longest compatible queue prefix
+        — every waiting reader that requested before the earliest
+        waiting writer, or that writer alone once no readers hold — and
+        appends grantees to their lane's cascade FIFO for the next
+        round.
+        """
+        N, P, H = self.N, self.P, self.H
+        fn = lanes * N + nodes
+        if not isinstance(was_write, np.ndarray):
+            if was_write:
+                self.wheld[fn] = False
+            else:
+                np.subtract.at(self.nread, fn, 1)
+        else:
+            wsel = was_write.nonzero()[0]
+            if wsel.size:
+                self.wheld[fn.take(wsel)] = False
+            if wsel.size < fn.size:
+                np.subtract.at(self.nread,
+                               fn.take((~was_write).nonzero()[0]), 1)
+        if fn.size == 1:
+            if self.nqueue.take(fn) == 0:
+                return
+            uf, ul, ut = fn, lanes, t_lanes
+        else:
+            uf, ui = np.unique(fn, return_index=True)
+            qsel = (self.nqueue.take(uf) > 0).nonzero()[0]
+            if qsel.size == 0:
+                return
+            uf = uf.take(qsel)
+            src = ui.take(qsel)
+            ul = lanes.take(src)
+            ut = t_lanes.take(src)
+        rows = ul[:, None] * P + self._colsrow
+        cand = self.wait_pair.take(rows) == uf[:, None]
+        sub_rt = self.rt.take(rows)
+        sub_ww = self.wait_write.take(rows)
+        rtw = np.where(cand & sub_ww, sub_rt, _INF)
+        wrt = rtw.min(axis=1)
+        readers = cand & ~sub_ww
+        readers &= sub_rt < wrt[:, None]
+        rcnt = readers.sum(axis=1)
+        rrow, rp = readers.nonzero()
+        if rrow.size:
+            ag = ul.take(rrow) * P + rp
+            self.wait_pp[ag] += ut.take(rrow) - sub_rt[rrow, rp]
+            self.rt[ag] = _INF
+            self.wait_pair[ag] = -1
+            self.nread[uf] += rcnt
+            self.nqueue[uf] -= rcnt
+            np.add.at(self.grants_r, ul * H + self.level_fn.take(uf),
+                      rcnt)
+        w_go = (rcnt == 0) & (wrt < _INF)
+        w_go &= self.nread.take(uf) == 0
+        wsel2 = w_go.nonzero()[0]
+        if wsel2.size:
+            wp = rtw.take(wsel2, axis=0).argmin(axis=1)
+            wl = ul.take(wsel2)
+            wg = wl * P + wp
+            self.wait_pp[wg] += ut.take(wsel2) - self.rt.take(wg)
+            self.rt[wg] = _INF
+            self.wait_pair[wg] = -1
+            wfn = uf.take(wsel2)
+            self.wheld[wfn] = True
+            self.nqueue[wfn] -= 1
+            np.add.at(self.grants_w, wl * H + self.level_fn.take(wfn), 1)
+        # FIFO-append every grantee, grouped by lane (within-wave order
+        # is immaterial: same-timestamp continuations commute).
+        if rrow.size and wsel2.size:
+            al_all = np.concatenate([ul.take(rrow), wl])
+            p_all = np.concatenate([rp, wp])
+        elif rrow.size:
+            al_all, p_all = ul.take(rrow), rp
+        elif wsel2.size:
+            al_all, p_all = wl, wp
+        else:
+            return
+        n = al_all.size
+        if n == 1:
+            lane = al_all[0]
+            self.fq_f[lane * P + self.ft[lane]] = p_all[0]
+            self.ft[lane] += 1
+            return
+        order = al_all.argsort(kind="stable")
+        sl = al_all.take(order)
+        sp = p_all.take(order)
+        start = np.empty(n, dtype=bool)
+        start[0] = True
+        np.not_equal(sl[1:], sl[:-1], out=start[1:])
+        seg_first = start.nonzero()[0]
+        within = np.arange(n) - seg_first.take(start.cumsum() - 1)
+        self.fq_f[sl * P + self.ft.take(sl) + within] = sp
+        np.add.at(self.ft, sl, 1)
+
+    def _release_segments(self, segs) -> None:
+        """Flush ``(lanes, nodes, was_write, t)`` release segments —
+        ``was_write`` per segment is a bool or an array — as one
+        :meth:`_release_batch` call."""
+        if len(segs) == 1:
+            self._release_batch(*segs[0])
+            return
+        flags = [s[2] for s in segs]
+        if all(isinstance(f, bool) for f in flags) and len(set(flags)) == 1:
+            ww = flags[0]
+        else:
+            ww = np.concatenate(
+                [f if isinstance(f, np.ndarray)
+                 else np.full(s[0].size, f, dtype=bool)
+                 for s, f in zip(segs, flags)])
+        self._release_batch(np.concatenate([s[0] for s in segs]),
+                            np.concatenate([s[1] for s in segs]),
+                            ww,
+                            np.concatenate([s[3] for s in segs]))
+
+    def _request(self, lanes: np.ndarray, ps: np.ndarray,
+                 nodes: np.ndarray, write: np.ndarray, depth: np.ndarray,
+                 t_ls: np.ndarray, pending_rel=None) -> None:
+        """One lock request per lane (lanes unique: requests only come
+        from primary timer fires).  Grant immediately when the queue is
+        empty and the mode is compatible — the process continues within
+        the same dispatch, as in the scalar engine's fast path — else
+        enqueue with the request time as FCFS key.
+
+        ``pending_rel`` carries the dispatch's primary release segments
+        so the granted continuations' own releases join them in a
+        single wave computation — sound because only one process fires
+        per lane per dispatch, so a lane never requests a node it is
+        releasing here (the one release+request phase, the optimistic
+        redo, releases the leaf and requests the root, and the tree
+        height is at least 2)."""
+        g = lanes * self.P + ps
+        self.dep[g] = depth
+        fn = lanes * self.N + nodes
+        free = (self.nqueue.take(fn) == 0) & ~self.wheld.take(fn)
+        free &= ~write | (self.nread.take(fn) == 0)
+        bsel = (~free).nonzero()[0]
+        if bsel.size:
+            gb = g.take(bsel)
+            self.rt[gb] = t_ls.take(bsel)
+            self.wait_pair[gb] = fn.take(bsel)
+            self.wait_write[gb] = write.take(bsel)
+            self.nqueue[fn.take(bsel)] += 1
+            self.phase[gb] = PH_WAIT
+        gsel = free.nonzero()[0]
+        if gsel.size:
+            fg = fn.take(gsel)
+            wg = write.take(gsel)
+            lg = lanes.take(gsel)
+            dg = depth.take(gsel)
+            ws = wg.nonzero()[0]
+            if ws.size:
+                self.wheld[fg.take(ws)] = True
+                self.grants_w[lg.take(ws) * self.H + dg.take(ws)] += 1
+            if ws.size < gsel.size:
+                rs = (~wg).nonzero()[0]
+                self.nread[fg.take(rs)] += 1
+                self.grants_r[lg.take(rs) * self.H + dg.take(rs)] += 1
+            self.imm_g[lg] += 1
+            self._grant_continuation(lg, ps.take(gsel), t_ls.take(gsel),
+                                     pending_rel)
+        elif pending_rel:
+            self._release_segments(pending_rel)
+
+    def _grant_continuation(self, lanes: np.ndarray, ps: np.ndarray,
+                            t_ls: np.ndarray, pending_rel=None) -> None:
+        """Continue processes just granted the node at their ``dep``.
+
+        Descent grants release the parent and start the node's service
+        timer; a leaf grant of an insert runs the safety check
+        (coupling keeps the parent across an unsafe leaf) and starts
+        the modify timer.  Lanes may repeat (batched cascade round).
+        """
+        P, H, J = self.P, self.H, self.J
+        Hm1 = H - 1
+        g = lanes * P + ps
+        d = self.dep.take(g)
+        j = self.curj.take(g)
+        k = self.opk.take(g)
+        base = g * J + j
+        leaf_ins = (k != OP_SEARCH) & (d == Hm1)
+        rel_parts = list(pending_rel) if pending_rel else []
+        gsel = (~leaf_ins).nonzero()[0]
+        if gsel.size:
+            gg = g.take(gsel)
+            bg = base.take(gsel)
+            dg = d.take(gsel)
+            tg = t_ls.take(gsel)
+            self.wake_f[gg] = tg + self.svc_t.take(
+                (bg * 2 + self.pas.take(gg)) * H + dg)
+            self.phase[gg] = PH_SVC
+            hsel = (dg > 0).nonzero()[0]
+            if hsel.size:
+                rel_parts.append((
+                    lanes.take(gsel).take(hsel),
+                    self.path_t.take(bg.take(hsel) * H
+                                     + dg.take(hsel) - 1),
+                    k.take(gsel).take(hsel) == OP_INS_W,
+                    tg.take(hsel)))
+        msel = leaf_ins.nonzero()[0]
+        if msel.size:
+            gm = g.take(msel)
+            bm = base.take(msel)
+            tm = t_ls.take(msel)
+            lm = lanes.take(msel)
+            parent = self.path_t.take(bm * H + (Hm1 - 1))
+            leaf = self.path_t.take(bm * H + Hm1)
+            opt = k.take(msel) == OP_INS_OPT
+            lf = lm * self.n_leaf + leaf - self.leaf_off
+            let_go = opt | (self.occ.take(lf) < self.order)
+            self.heldp[gm] = np.where(let_go, -1, parent)
+            self.wake_f[gm] = tm + self.mod_t.take(
+                bm * 2 + self.pas.take(gm))
+            self.phase[gm] = PH_MOD
+            lsel = let_go.nonzero()[0]
+            if lsel.size:
+                # Parent held W by coupling, R by the optimistic pass.
+                rel_parts.append((lm.take(lsel), parent.take(lsel),
+                                  ~opt.take(lsel), tm.take(lsel)))
+        if rel_parts:
+            self._release_segments(rel_parts)
+
+    def _end_op(self, lanes: np.ndarray, ps: np.ndarray, j: np.ndarray,
+                t_ls: np.ndarray) -> None:
+        g = lanes * self.P + ps
+        jn = j + 1
+        done = jn == self.J
+        dsel = done.nonzero()[0]
+        if dsel.size:
+            self.phase[g.take(dsel)] = PH_DONE
+            self.n_done[lanes.take(dsel)] += 1
+        if dsel.size < g.size:
+            csel = (~done).nonzero()[0]
+            gc = g.take(csel)
+            jc = jn.take(csel)
+            self.curj[gc] = jc
+            self.phase[gc] = PH_THINK
+            self.wake_f[gc] = t_ls.take(csel) \
+                + self.think_t.take(gc * self.J + jc)
+
+    # ------------------------------------------------------------------
+    # The step loop
+    # ------------------------------------------------------------------
+    def _iterate(self, li: np.ndarray) -> None:
+        P, J, Hm1 = self.P, self.J, self.H - 1
+        order = self.order
+        full = li.size == self.n_lanes
+        if full:
+            pi = self.wake.argmin(axis=1)
+            g = self._rowP + pi
+        else:
+            pi = self.wake.take(li, axis=0).argmin(axis=1)
+            g = li * P + pi
+        t = self.wake_f.take(g)
+        if math.isinf(t.max()):
+            raise RuntimeError("vector btree kernel stalled: active lane "
+                               "with no pending timer")
+        self.wake_f[g] = _INF
+        K = li.size
+        if full:
+            np.copyto(self.end_time, t)
+            self.fh.fill(0)
+            self.ft.fill(0)
+        else:
+            self.end_time[li] = t
+            self.fh[li] = 0
+            self.ft[li] = 0
+        self.dispatches += 1
+        self.lane_rounds += K
+
+        ph = self.phase.take(g)
+        j = self.curj.take(g)
+        k = self.opk.take(g)
+        base = g * J + j
+        req = np.full(K, -1, dtype=np.int64)
+        req_w = np.zeros(K, dtype=bool)
+        req_d = np.zeros(K, dtype=np.int64)
+        endop = np.zeros(K, dtype=bool)
+        rel_seg: List[Tuple[np.ndarray, np.ndarray, bool, np.ndarray]] = []
+
+        tsel = (ph == PH_THINK).nonzero()[0]
+        if tsel.size:
+            gt = g.take(tsel)
+            jt = j.take(tsel)
+            kk = np.where(self.isins_t.take(pi.take(tsel) * J + jt),
+                          self._proto_k, OP_SEARCH)
+            self.opk[gt] = kk.astype(np.int8)
+            self.pas[gt] = 0
+            self.heldp[gt] = -1
+            req[tsel] = self.path_t.take(base.take(tsel) * self.H)
+            req_w[tsel] = kk == OP_INS_W
+
+        ssel = (ph == PH_SVC).nonzero()[0]
+        if ssel.size:
+            ds = self.dep.take(g.take(ssel))
+            finm = (k.take(ssel) == OP_SEARCH) & (ds == Hm1)
+            fsel = ssel.take(finm.nonzero()[0])
+            if fsel.size:
+                # Search done: release the leaf (held R) and end the op.
+                rel_seg.append((li.take(fsel),
+                                self.path_t.take(base.take(fsel) * self.H
+                                                 + Hm1),
+                                False, t.take(fsel)))
+                endop[fsel] = True
+            if fsel.size < ssel.size:
+                dsel = ssel.take((~finm).nonzero()[0])
+                dn = self.dep.take(g.take(dsel)) + 1
+                kd = k.take(dsel)
+                req[dsel] = self.path_t.take(base.take(dsel) * self.H
+                                             + dn)
+                req_w[dsel] = (kd == OP_INS_W) \
+                    | ((kd == OP_INS_OPT) & (dn == Hm1))
+                req_d[dsel] = dn
+
+        msel = (ph == PH_MOD).nonzero()[0]
+        psel = (ph == PH_SPLIT).nonzero()[0]
+        if msel.size:
+            jm = j.take(msel)
+            leaf = self.path_t.take(base.take(msel) * self.H + Hm1)
+            lf = li.take(msel) * self.n_leaf + leaf - self.leaf_off
+            occv = self.occ.take(lf)
+            km = k.take(msel)
+            k1 = (km == OP_INS_W).nonzero()[0]
+            if k1.size:
+                nocc = occv.take(k1) + 1
+                self.occ[lf.take(k1)] = nocc
+                overm = nocc > order
+                osel = k1.take(overm.nonzero()[0])
+                if osel.size:
+                    io = msel.take(osel)
+                    go = g.take(io)
+                    self.wake_f[go] = t.take(io) \
+                        + self.spl_t.take(base.take(io))
+                    self.phase[go] = PH_SPLIT
+                if osel.size < k1.size:
+                    usel = k1.take((~overm).nonzero()[0])
+                    iu = msel.take(usel)
+                    rel_seg.append((li.take(iu), leaf.take(usel), True,
+                                    t.take(iu)))
+                    endop[iu] = True
+            if k1.size < msel.size:
+                k2 = (km == OP_INS_OPT).nonzero()[0]
+                safem = occv.take(k2) < order
+                ssafe = k2.take(safem.nonzero()[0])
+                if ssafe.size:
+                    isf = msel.take(ssafe)
+                    self.occ[lf.take(ssafe)] = occv.take(ssafe) + 1
+                    rel_seg.append((li.take(isf), leaf.take(ssafe), True,
+                                    t.take(isf)))
+                    endop[isf] = True
+                if ssafe.size < k2.size:
+                    # Unsafe: release the leaf, then redo — a full
+                    # W-coupled descent with the pass-1 draws (the
+                    # release dispatches before the root request, as
+                    # in the scalar redo path).
+                    suns = k2.take((~safem).nonzero()[0])
+                    iun = msel.take(suns)
+                    rel_seg.append((li.take(iun), leaf.take(suns), True,
+                                    t.take(iun)))
+                    gu = g.take(iun)
+                    self.redos[li.take(iun)] += 1
+                    self.opk[gu] = OP_INS_W
+                    self.pas[gu] = 1
+                    req[iun] = self.path_t.take(base.take(iun) * self.H)
+                    req_w[iun] = True
+        if psel.size:
+            gp_ = g.take(psel)
+            leafp = self.path_t.take(base.take(psel) * self.H + Hm1)
+            self.occ[li.take(psel) * self.n_leaf + leafp - self.leaf_off] \
+                = self._post_split
+            self.splits[li.take(psel)] += 1
+            # Split done: release the kept parent, then the leaf.
+            rel_seg.append((li.take(psel), self.heldp.take(gp_), True,
+                            t.take(psel)))
+            rel_seg.append((li.take(psel), leafp, True, t.take(psel)))
+            self.heldp[gp_] = -1
+            endop[psel] = True
+
+        # A process's own releases dispatch before its next request or
+        # timer; independent lanes never interact and the only lane
+        # with both a release and a request this dispatch (the redo)
+        # touches two distinct nodes, so the primary releases merge
+        # into the request continuations' wave computation.
+        rq = (req >= 0).nonzero()[0]
+        if rq.size:
+            self._request(li.take(rq), pi.take(rq), req.take(rq),
+                          req_w.take(rq), req_d.take(rq), t.take(rq),
+                          rel_seg if rel_seg else None)
+        elif rel_seg:
+            self._release_segments(rel_seg)
+        esel = endop.nonzero()[0]
+        if esel.size:
+            self._end_op(li.take(esel), pi.take(esel), j.take(esel),
+                         t.take(esel))
+
+        # Zero-time cascade, breadth-first: each round continues every
+        # process granted by the previous round's waves, exactly the
+        # scalar engine's resume-push order at one timestamp (the
+        # event that fired runs to completion first, grantees follow in
+        # wave order; same-timestamp continuations commute).
+        while True:
+            pend = (self.ft.take(li) > self.fh.take(li)).nonzero()[0]
+            if pend.size == 0:
+                break
+            self.cascade_rounds += 1
+            sel_l = li.take(pend)
+            cnt = self.ft.take(sel_l) - self.fh.take(sel_l)
+            rep_l = sel_l.repeat(cnt)
+            total = rep_l.size
+            seg_first = cnt.cumsum() - cnt
+            within = np.arange(total) - seg_first.repeat(cnt)
+            procs = self.fq_f.take(rep_l * P + self.fh.take(rep_l)
+                                   + within)
+            self.fh[sel_l] += cnt
+            self._grant_continuation(rep_l, procs, t.take(pend).repeat(cnt))
+
+        nd = self.n_done.take(li)
+        if nd.max() >= P:
+            self.active[li.take((nd >= P).nonzero()[0])] = False
+            self._live = self.active.nonzero()[0]
+
+    def run(self) -> VectorBTreeStats:
+        self._setup()
+        while self._live.size:
+            self._iterate(self._live)
+        L, P, J = self.n_lanes, self.P, self.J
+        # Scalar heap-push count, in closed form: P spawns + P initial
+        # thinks + P*(J-1) follow-up thinks + one timer per split and
+        # per grant, + one resume push per *contended* grant.
+        grants = self.grants_r.reshape(L, self.H).sum(axis=1) \
+            + self.grants_w.reshape(L, self.H).sum(axis=1)
+        events = P * (J + 1) + self.splits + 2 * grants - self.imm_g
+        return VectorBTreeStats(
+            n_lanes=L, end_time=self.end_time, events=events,
+            grants_read=self.grants_r.reshape(L, self.H),
+            grants_write=self.grants_w.reshape(L, self.H),
+            splits=self.splits, redos=self.redos,
+            wait_pp=self.wait_pp.reshape(L, self.P),
+            dispatches=self.dispatches, lane_rounds=self.lane_rounds,
+            cascade_rounds=self.cascade_rounds,
+        )
+
+
+def run_btree_vectorized(spec: BTreeDescentSpec, n_lanes: int,
+                         tables: Optional[BTreeTables] = None,
+                         instruments=None,
+                         ) -> VectorBTreeStats:
+    """Run ``n_lanes`` replications of ``spec`` through the vector
+    kernel and return the per-lane stats.
+
+    ``instruments`` (an
+    :class:`~repro.obs.instruments.Instrumentation`) additionally
+    records ``vector_btree.dispatches`` / ``vector_btree.lane_rounds``
+    / ``vector_btree.cascade_rounds`` — the same occupancy counters the
+    returned stats carry, exposed through telemetry so lane-occupancy
+    decay is measurable across a sweep."""
+    stats = VectorBTreeKernel(spec, n_lanes, tables=tables).run()
+    if instruments is not None:
+        instruments.counter("vector_btree.dispatches").inc(stats.dispatches)
+        instruments.counter("vector_btree.lane_rounds").inc(stats.lane_rounds)
+        instruments.counter("vector_btree.cascade_rounds").inc(
+            stats.cascade_rounds)
+    return stats
+
+
+def run_scalar_btree_reference(spec: BTreeDescentSpec, lane: int,
+                               tables: Optional[BTreeTables] = None,
+                               ) -> BTreeLaneStats:
+    """Replay lane ``lane`` of ``spec`` through the *scalar* kernel.
+
+    This is the oracle: the real :class:`~repro.des.engine.Simulator`
+    and :class:`~repro.des.rwlock.RWLock` execute the identical
+    schedule, and the returned :class:`BTreeLaneStats` must match the
+    vector kernel's lane bit-for-bit on every field.
+    """
+    from repro.des.engine import Simulator
+    from repro.des.rwlock import RWLock
+
+    tab = tables if tables is not None else spec.tables(lane + 1)
+    think_rows = tab.think[lane].tolist()
+    svc_rows = tab.svc[lane].tolist()
+    mod_rows = tab.mod[lane].tolist()
+    spl_rows = tab.split[lane].tolist()
+    path_rows = tab.path[lane].tolist()
+    is_ins = spec.insert_mask().tolist()
+
+    P, J, H = spec.n_procs, spec.iterations, spec.n_levels
+    order, leaf_off = spec.order, spec.leaf_offset
+    post_split = spec.post_split_occupancy
+    coupling = spec.protocol == "coupling"
+
+    sim = Simulator()
+    locks = [RWLock(f"n{i}") for i in range(spec.n_nodes)]
+    occ = [spec.initial_occupancy] * spec.levels[-1]
+    waits = [0.0] * P
+    counters = {"splits": 0, "redos": 0}
+
+    def search_op(p: int, j: int):
+        pth = path_rows[p][j]
+        svc = svc_rows[p][j][0]
+        prev = None
+        for d in range(H):
+            wait = yield locks[pth[d]].acquire_read
+            waits[p] += wait
+            if prev is not None:
+                yield locks[prev].release_cmd
+            prev = pth[d]
+            yield svc[d]
+        yield locks[prev].release_cmd
+
+    def coupled_insert(p: int, j: int, pas: int):
+        pth = path_rows[p][j]
+        svc = svc_rows[p][j][pas]
+        prev = None
+        for d in range(H - 1):
+            wait = yield locks[pth[d]].acquire_write
+            waits[p] += wait
+            if prev is not None:
+                yield locks[prev].release_cmd
+            prev = pth[d]
+            yield svc[d]
+        leaf = pth[H - 1]
+        wait = yield locks[leaf].acquire_write
+        waits[p] += wait
+        idx = leaf - leaf_off
+        if occ[idx] < order:          # safe: every ancestor is released
+            yield locks[prev].release_cmd
+            prev = None
+        yield mod_rows[p][j][pas]
+        occ[idx] += 1
+        if occ[idx] > order:
+            yield spl_rows[p][j]
+            occ[idx] = post_split
+            counters["splits"] += 1
+        if prev is not None:
+            yield locks[prev].release_cmd
+        yield locks[leaf].release_cmd
+
+    def optimistic_insert(p: int, j: int):
+        pth = path_rows[p][j]
+        svc = svc_rows[p][j][0]
+        prev = None
+        for d in range(H - 1):
+            wait = yield locks[pth[d]].acquire_read
+            waits[p] += wait
+            if prev is not None:
+                yield locks[prev].release_cmd
+            prev = pth[d]
+            yield svc[d]
+        leaf = pth[H - 1]
+        wait = yield locks[leaf].acquire_write
+        waits[p] += wait
+        yield locks[prev].release_cmd
+        yield mod_rows[p][j][0]
+        idx = leaf - leaf_off
+        if occ[idx] < order:
+            occ[idx] += 1
+            yield locks[leaf].release_cmd
+        else:
+            yield locks[leaf].release_cmd
+            counters["redos"] += 1
+            yield from coupled_insert(p, j, 1)
+
+    def worker(p: int):
+        inserts = is_ins[p]
+        for j in range(J):
+            yield think_rows[p][j]
+            if inserts[j]:
+                if coupling:
+                    yield from coupled_insert(p, j, 0)
+                else:
+                    yield from optimistic_insert(p, j)
+            else:
+                yield from search_op(p, j)
+
+    for p in range(P):
+        sim.spawn(worker(p))
+    sim.run()
+
+    offsets = spec.node_offsets()
+    grants_read, grants_write = [], []
+    for d in range(H):
+        level = locks[offsets[d]:offsets[d] + spec.levels[d]]
+        grants_read.append(sum(lk.grants_read for lk in level))
+        grants_write.append(sum(lk.grants_write for lk in level))
+    wait_total = 0.0
+    for wait in waits:
+        wait_total += wait
+    return BTreeLaneStats(
+        end_time=sim.now,
+        events=sim._sequence,
+        grants_read=tuple(grants_read),
+        grants_write=tuple(grants_write),
+        splits=counters["splits"],
+        redos=counters["redos"],
+        wait_total=wait_total,
+    )
+
+
+def assert_btree_equivalent(vector: VectorBTreeStats,
+                            scalar: Sequence[BTreeLaneStats],
+                            lanes: Optional[Sequence[int]] = None) -> None:
+    """Assert the vector run reproduces the scalar lanes bit-for-bit.
+
+    Every compared field is exact — including ``end_time`` and
+    ``wait_total``, because both kernels perform the same IEEE-754
+    additions in the same per-process order.
+    """
+    indices: List[int] = list(lanes) if lanes is not None \
+        else list(range(len(scalar)))
+    for offset, lane in enumerate(indices):
+        ref = scalar[offset]
+        got = vector.lane(lane)
+        if got != ref:
+            raise AssertionError(
+                f"lane {lane} diverged from the scalar kernel:\n"
+                f"  vector={got}\n  scalar={ref}")

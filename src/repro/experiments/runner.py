@@ -112,9 +112,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for each figure's "
                               "simulation sweep (default 1: serial)")
-    figures.add_argument("--batch", type=_non_negative_int, default=None,
-                         metavar="N",
-                         help="replication batch width (vector-capable "
+    figures.add_argument("--batch", type=_batch_width, default=None,
+                         metavar="N|auto",
+                         help="replication batch width, or 'auto' for "
+                              "the calibrated width (vector-capable "
                               "algorithms; results identical)")
     figures.add_argument("--no-cache", action="store_true",
                          help="disable the on-disk simulation result "
@@ -169,11 +170,12 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="worker processes for the replication "
                                "seeds (default 1: serial)")
-    simulate.add_argument("--batch", type=_non_negative_int, default=None,
-                          metavar="N",
-                          help="batch width for the replication seeds "
-                               "(telemetry runs always fall back to the "
-                               "scalar path; accepted for symmetry)")
+    simulate.add_argument("--batch", type=_batch_width, default=None,
+                          metavar="N|auto",
+                          help="batch width ('auto' allowed) for the "
+                               "replication seeds (telemetry runs "
+                               "always fall back to the scalar path; "
+                               "accepted for symmetry)")
     _resilience_flags(simulate)
     return parser
 
@@ -200,6 +202,14 @@ def _non_negative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(
             f"expected an integer >= 0, got {value}")
     return value
+
+
+def _batch_width(text: str):
+    """``--batch`` accepts a fixed width or ``auto`` (the measured
+    cost model in :mod:`repro.des.autotune` picks the width)."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    return _non_negative_int(text)
 
 
 def _resilience_flags(sub: argparse.ArgumentParser) -> None:
@@ -256,12 +266,14 @@ def _common_run_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes for independent simulation "
                           "runs (default 1: serial; results identical)")
-    sub.add_argument("--batch", type=_non_negative_int, default=None,
-                     metavar="N",
+    sub.add_argument("--batch", type=_batch_width, default=None,
+                     metavar="N|auto",
                      help="advance up to N replication seeds per "
                           "scheduled unit through the lane-multiplexed "
                           "batch driver (vector-capable algorithms "
-                          "only; default 1: scalar; results identical)")
+                          "only; default 1: scalar; 'auto' picks the "
+                          "width from the persisted calibration; "
+                          "results identical)")
     sub.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk simulation result cache")
     sub.add_argument("--clear-cache", action="store_true",
@@ -304,10 +316,11 @@ def _dispatch(args) -> int:
         if args.command == "list-algorithms":
             for spec in all_algorithms():
                 model = "model" if spec.has_model else "sim-only"
-                vec = "vector" if spec.vector_capable else "scalar"
+                vec = {"full": "full", "lock": "lock-only",
+                       "none": "scalar"}[spec.vector_tier]
                 caps = ", ".join(spec.capabilities()) or "-"
                 print(f"{spec.name:<26} {spec.label:<32} {model:<9} "
-                      f"{vec:<7} {caps}")
+                      f"{vec:<10} {caps}")
             return 0
         if args.command == "claims":
             from repro.experiments.claims import evaluate_claims, format_claims

@@ -272,7 +272,7 @@ def run_batch(tasks: Sequence[SimTask],
               telemetry_sink: Optional[Callable[[int, "RunTelemetry"], None]]
               = None,
               resilience: Optional[ResilienceOptions] = None,
-              batch: Optional[int] = None,
+              batch: "Optional[int | str]" = None,
               ) -> List[Optional[SimulationResult]]:
     """Execute ``tasks`` and return their results in task order.
 
@@ -288,7 +288,10 @@ def run_batch(tasks: Sequence[SimTask],
     misses (plain open-system tasks on vector-capable algorithms — see
     :mod:`repro.simulator.batch`) into lane-multiplexed units of up to
     that many replications; ineligible tasks interleave as singletons
-    on the scalar path.  Results, cache keys and the returned order are
+    on the scalar path.  ``batch="auto"`` resolves the width from the
+    persisted cost-model calibration
+    (:func:`repro.des.autotune.resolve_auto_width`, probing on first
+    use).  Results, cache keys and the returned order are
     identical either way — batching only changes scheduling.  Resilient
     batches (a failure policy installed) ignore ``batch`` and stay
     per-task: retry/timeout/quarantine accounting charges individual
@@ -324,6 +327,9 @@ def run_batch(tasks: Sequence[SimTask],
     n_batch = resolve_batch(batch)
     cache = resolve_cache(cache)
     progress = resolve_progress(progress)
+    if n_batch == "auto":
+        from repro.des.autotune import resolve_auto_width
+        n_batch = resolve_auto_width(len(tasks), cache)
 
     results: List[Optional[SimulationResult]] = [None] * len(tasks)
     pending: List[int] = []

@@ -18,17 +18,29 @@ This is the scheduling half of the vectorization story: it gives the
 sweep layer one schedulable unit per seed *batch* while preserving
 per-seed results and cache keys.  The arithmetic half — advancing many
 replications per interpreted numpy dispatch — lives in
-:mod:`repro.des.vector`, which vectorizes the lock-contention kernel
-itself; ``docs/performance.md`` ("Vectorized batch-replication
-kernel") covers when each layer wins.
+:mod:`repro.des.vector` (the lock-contention kernel) and
+:mod:`repro.des.vector_btree` (full search/insert descents);
+``docs/performance.md`` ("Vectorized batch-replication kernel") covers
+when each layer wins.  An algorithm spec's ``vector_tier``
+(:data:`~repro.algorithms.spec.VECTOR_TIERS`) records which layers
+cover it: ``"lock"`` and above opt into this driver, ``"full"``
+additionally marks its descent family as vector-kernel covered.
 
 Fallback contract: callers must route a task through the scalar path
 instead when the run needs machinery the batch driver does not carry —
 per-run budgets (their wall-clock share would differ under
 multiplexing), telemetry or tracing (their samplers are per-simulator),
-or an algorithm whose spec is not ``vector_capable``.
-:func:`batch_capable` encodes the spec check; the executor
-(:func:`repro.parallel.run_batch`) applies all of them.
+or an algorithm whose spec is not ``vector_capable`` (tier
+``"none"``).  :func:`batch_capable` encodes the spec check; the
+executor (:func:`repro.parallel.run_batch`) applies all of them.
+
+Batch-scheduling observability: pass an
+:class:`~repro.obs.instruments.Instrumentation` to
+:func:`run_replication_batch` to record ``batch.dispatches`` (frontier
+rounds), ``batch.lane_rounds`` (live lanes summed over rounds —
+``lane_rounds / dispatches`` is the mean batch occupancy, whose decay
+as lanes retire is what erodes wide-batch speedup) and
+``batch.lanes_retired``.
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ def batch_capable(config: SimulationConfig) -> bool:
 
 
 def run_replication_batch(configs: Sequence[SimulationConfig],
+                          instruments=None,
                           ) -> List[SimulationResult]:
     """Run every config to completion in one lane-multiplexed pass.
 
@@ -62,17 +75,30 @@ def run_replication_batch(configs: Sequence[SimulationConfig],
     ``[run_simulation(c) for c in configs]``.  Raises
     :class:`~repro.errors.ConfigurationError` for an algorithm that is
     not ``vector_capable`` — the caller was supposed to fall back.
+
+    ``instruments`` (an
+    :class:`~repro.obs.instruments.Instrumentation`, default: none)
+    receives the per-batch scheduling counters described in the module
+    docstring; counting never affects results.
     """
     for config in configs:
         if not batch_capable(config):
             raise ConfigurationError(
                 f"algorithm {config.algorithm!r} is not vector-capable; "
                 "run it through the scalar path")
+    if instruments is None:
+        from repro.obs.instruments import NULL_INSTRUMENTS
+        instruments = NULL_INSTRUMENTS
+    dispatches = instruments.counter("batch.dispatches")
+    lane_rounds = instruments.counter("batch.lane_rounds")
+    retired = instruments.counter("batch.lanes_retired")
     runs = [_prepare_run(config) for config in configs]
     results: List[Optional[SimulationResult]] = [None] * len(runs)
     live = list(range(len(runs)))
     while live:
         frontier = _next_frontier(runs, live)
+        dispatches.inc()
+        lane_rounds.inc(len(live))
         still_live: List[int] = []
         for index in live:
             run = runs[index]
@@ -83,6 +109,7 @@ def run_replication_batch(configs: Sequence[SimulationConfig],
             # finished mid-slice (stop predicate) or drained its heap.
             if run.finished() or run.sim.next_event_time() is None:
                 results[index] = _finalize_run(run)
+                retired.inc()
             else:
                 still_live.append(index)
         live = still_live

@@ -320,7 +320,7 @@ def run_replications(config: SimulationConfig,
                      = None,
                      jobs: Optional[int] = None,
                      cache: Optional["ResultCache"] = None,
-                     batch: Optional[int] = None,
+                     batch: "Optional[int | str]" = None,
                      ) -> List[SimulationResult]:
     """Run ``config`` under ``n_seeds`` different seeds (paper: 5).
 
@@ -331,7 +331,9 @@ def run_replications(config: SimulationConfig,
     ``batch=N`` advances up to ``N`` seeds per scheduled unit through
     the lane-multiplexed batch driver (:mod:`repro.simulator.batch`)
     when the algorithm is vector-capable — also bit-identical, with
-    per-seed cache keys unchanged.  ``progress`` is called once per
+    per-seed cache keys unchanged; ``batch="auto"`` picks the width
+    from the persisted cost-model calibration
+    (:mod:`repro.des.autotune`).  ``progress`` is called once per
     completed result (completion order when parallel).
     """
     from repro.parallel import replication_tasks, run_batch

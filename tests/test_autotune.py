@@ -1,0 +1,168 @@
+"""The measured batch-width cost model (:mod:`repro.des.autotune`).
+
+The calibration's job is scheduling, not correctness — results are
+bit-identical at every width (``tests/test_batch_replications.py``) —
+so these tests pin the model's math, the probe's plumbing, the
+persistence contract (atomic, fingerprinted, corrupt → re-probe) and
+the ``batch="auto"`` resolution path.
+"""
+
+import json
+
+import pytest
+
+from repro.des import autotune
+from repro.des.autotune import (
+    BatchCalibration,
+    ProtocolCalibration,
+    calibrate,
+    calibration_path,
+    choose_width,
+    load_calibration,
+    resolve_auto_width,
+    save_calibration,
+)
+from repro.des.vector_btree import PROTOCOLS, BTreeDescentSpec
+
+#: A tiny probe spec so calibration tests stay fast.
+TINY = BTreeDescentSpec(iterations=2, n_procs=4)
+
+
+def _entry(protocol="coupling", a=1e-4, b=1e-6, dispatches=100.0,
+           events=500.0, scalar=250_000.0) -> ProtocolCalibration:
+    return ProtocolCalibration(
+        protocol=protocol, overhead_per_dispatch=a,
+        cost_per_lane_dispatch=b, dispatches=dispatches,
+        events_per_lane=events, scalar_events_per_sec=scalar)
+
+
+def _calibration(**overrides) -> BatchCalibration:
+    entries = {protocol: _entry(protocol) for protocol in PROTOCOLS}
+    fields = dict(entries=entries, probe_widths=(32, 256),
+                  fingerprint=autotune._fingerprint(),
+                  generated_at="2026-08-08T00:00:00Z")
+    fields.update(overrides)
+    return BatchCalibration(**fields)
+
+
+class TestCostModel:
+
+    def test_predicted_speedup_math(self):
+        entry = _entry(a=1e-4, b=1e-6, dispatches=100.0, events=500.0,
+                       scalar=250_000.0)
+        # T(64) = 100 * (1e-4 + 64e-6) s; eps = 64*500/T; ratio vs c.
+        seconds = 100.0 * (1e-4 + 64e-6)
+        expected = (64 * 500.0 / seconds) / 250_000.0
+        assert entry.predicted_speedup(64) == pytest.approx(expected)
+
+    def test_wider_batches_amortize_overhead(self):
+        entry = _entry()
+        speedups = [entry.predicted_speedup(w) for w in (8, 64, 512)]
+        assert speedups == sorted(speedups)
+
+    def test_calibration_speedup_is_conservative_minimum(self):
+        cal = _calibration(entries={
+            "coupling": _entry("coupling", scalar=100_000.0),
+            "optimistic": _entry("optimistic", scalar=400_000.0),
+        })
+        per_protocol = [e.predicted_speedup(128)
+                        for e in cal.entries.values()]
+        assert cal.speedup(128) == min(per_protocol)
+
+
+class TestChooseWidth:
+
+    def test_picks_best_predicted_width(self):
+        # With per-dispatch overhead dominating, the widest candidate
+        # amortizes best.
+        assert choose_width(_calibration(), 4096) == 1024
+
+    def test_clamps_to_task_count(self):
+        assert choose_width(_calibration(), 100) <= 100
+        assert choose_width(_calibration(), 8) <= 8
+
+    def test_scalar_for_trivial_or_losing_batches(self):
+        assert choose_width(_calibration(), 1) == 1
+        assert choose_width(_calibration(), 0) == 1
+        # A model that never beats scalar falls back to width 1.
+        slow = _calibration(entries={
+            protocol: _entry(protocol, b=1.0) for protocol in PROTOCOLS})
+        assert choose_width(slow, 4096) == 1
+
+
+class TestCalibrate:
+
+    def test_probe_produces_positive_model(self):
+        cal = calibrate(TINY)
+        assert set(cal.entries) == set(PROTOCOLS)
+        for entry in cal.entries.values():
+            assert entry.overhead_per_dispatch > 0
+            assert entry.cost_per_lane_dispatch > 0
+            assert entry.dispatches >= 1
+            assert entry.events_per_lane > 0
+            assert entry.scalar_events_per_sec > 0
+        assert cal.fingerprint == autotune._fingerprint()
+
+    def test_rejects_bad_probe_widths(self):
+        with pytest.raises(ValueError, match="probe widths"):
+            calibrate(TINY, probe_widths=(64, 16))
+        with pytest.raises(ValueError, match="probe widths"):
+            calibrate(TINY, probe_widths=(16,))
+
+
+class TestPersistence:
+
+    def test_round_trip(self, tmp_path):
+        cal = _calibration()
+        path = tmp_path / "autotune.json"
+        save_calibration(cal, path)
+        assert load_calibration(path) == cal
+
+    def test_missing_or_corrupt_means_reprobe(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        assert load_calibration(path) is None
+        path.write_text("{not json", encoding="utf-8")
+        assert load_calibration(path) is None
+
+    def test_schema_or_fingerprint_mismatch_means_reprobe(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        save_calibration(_calibration(), path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert load_calibration(path) is None
+        save_calibration(
+            _calibration(fingerprint={"machine": "other", "python": "0",
+                                      "cpus": 1}), path)
+        assert load_calibration(path) is None
+
+    def test_calibration_path_prefers_cache_directory(self, tmp_path,
+                                                      monkeypatch):
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        assert calibration_path(cache) == \
+            cache.directory / autotune.CALIBRATION_FILENAME
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "fallback"))
+        assert calibration_path(None) == \
+            tmp_path / "fallback" / autotune.CALIBRATION_FILENAME
+
+
+class TestResolveAutoWidth:
+
+    def test_uses_persisted_calibration(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        save_calibration(_calibration(), calibration_path(None))
+        probed = []
+        monkeypatch.setattr(autotune, "calibrate",
+                            lambda *a, **k: probed.append(1))
+        assert resolve_auto_width(4096) == 1024
+        assert not probed  # served from disk, no probe run
+
+    def test_probes_and_persists_on_first_use(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(autotune, "calibrate",
+                            lambda *a, **k: _calibration())
+        width = resolve_auto_width(4096)
+        assert width == 1024
+        assert load_calibration(calibration_path(None)) == _calibration()

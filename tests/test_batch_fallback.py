@@ -1,0 +1,116 @@
+"""Batch-fallback boundaries: mixed sweeps stay byte-identical.
+
+A realistic sweep mixes batch-eligible replications with tasks the
+batch driver must not absorb — scalar-only algorithms, telemetry
+collection, per-task budgets, closed-system runs.  ``run_batch`` must
+(1) produce results byte-identical to ``batch=None`` for the whole
+mixture and (2) group exactly the eligible runs, leaving everything
+else on the scalar path.  These tests pin both halves, including under
+``batch="auto"``.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.algorithms  # noqa: F401 - populate the registry
+from repro.algorithms import get_algorithm
+from repro.algorithms.spec import _REGISTRY
+from repro.des import autotune
+from repro.obs.telemetry import TelemetryOptions
+from repro.parallel import SimTask, run_batch
+from repro.parallel.executor import KIND_CLOSED, _batch_eligible, _plan_units
+from repro.resilience.budget import TaskBudget
+from repro.simulator.config import SimulationConfig
+
+N_OPERATIONS = 300
+
+
+def _config(algorithm="link-type", seed=3) -> SimulationConfig:
+    return SimulationConfig(algorithm=algorithm,
+                            n_operations=N_OPERATIONS, seed=seed)
+
+
+def _scalar_only(monkeypatch, algorithm="two-phase-locking") -> None:
+    """Demote one registered algorithm to tier "none" for this test."""
+    monkeypatch.setitem(
+        _REGISTRY, algorithm,
+        dataclasses.replace(get_algorithm(algorithm), vector_tier="none"))
+
+
+def _mixed_tasks():
+    """Eligible runs bracketing every kind of ineligible task."""
+    return [
+        SimTask(_config(seed=10)),                              # eligible
+        SimTask(_config(seed=11)),                              # eligible
+        SimTask(_config("two-phase-locking", seed=12)),         # scalar-only
+        SimTask(_config(seed=13)),                              # eligible
+        SimTask(_config(seed=14), telemetry=TelemetryOptions()),
+        SimTask(_config(seed=15),
+                budget=TaskBudget(max_events=100_000_000)),
+        SimTask(_config(seed=16), kind=KIND_CLOSED, mpl=2),
+        SimTask(_config(seed=17)),                              # eligible
+        SimTask(_config(seed=18)),                              # eligible
+    ]
+
+
+def test_mixed_sweep_byte_identical_to_unbatched(monkeypatch):
+    _scalar_only(monkeypatch)
+    tasks = _mixed_tasks()
+    telemetry_scalar, telemetry_batched = {}, {}
+    scalar = run_batch(tasks, batch=None,
+                       telemetry_sink=telemetry_scalar.__setitem__)
+    batched = run_batch(tasks, batch=4,
+                        telemetry_sink=telemetry_batched.__setitem__)
+    assert repr(batched) == repr(scalar)
+    assert len(scalar) == len(tasks) and None not in scalar
+    # The telemetry task delivered through the sink on both paths, with
+    # identical recorded series.
+    assert set(telemetry_scalar) == set(telemetry_batched) == {4}
+    assert repr(telemetry_batched[4].result) == \
+        repr(telemetry_scalar[4].result)
+
+
+def test_mixed_sweep_grouping(monkeypatch):
+    _scalar_only(monkeypatch)
+    tasks = _mixed_tasks()
+    eligible = [_batch_eligible(task) for task in tasks]
+    assert eligible == [True, True, False, True, False, False, False,
+                        True, True]
+    units = _plan_units(tasks, range(len(tasks)), width=4)
+    # Consecutive eligible runs fuse (respecting the width cap); every
+    # ineligible task is its own scalar unit, in task order.
+    assert units == [[0, 1], [2], [3], [4], [5], [6], [7, 8]]
+    # Width caps a long eligible run into consecutive chunks.
+    wide = [SimTask(_config(seed=30 + i)) for i in range(5)]
+    assert _plan_units(wide, range(5), width=2) == [[0, 1], [2, 3], [4]]
+
+
+def test_auto_batch_mixed_sweep(monkeypatch, tmp_path):
+    # batch="auto" resolves a width from the persisted calibration and
+    # then obeys the same grouping/fallback rules.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    entries = {
+        protocol: autotune.ProtocolCalibration(
+            protocol=protocol, overhead_per_dispatch=1e-6,
+            cost_per_lane_dispatch=1e-9, dispatches=100.0,
+            events_per_lane=1000.0, scalar_events_per_sec=1000.0)
+        for protocol in ("coupling", "optimistic")}
+    autotune.save_calibration(
+        autotune.BatchCalibration(entries=entries, probe_widths=(32, 256),
+                                  fingerprint=autotune._fingerprint(),
+                                  generated_at="test"),
+        autotune.calibration_path(None))
+    _scalar_only(monkeypatch)
+    tasks = _mixed_tasks()
+    scalar = run_batch(tasks, batch=None)
+    auto = run_batch(tasks, batch="auto")
+    assert repr(auto) == repr(scalar)
+
+
+def test_rejects_unknown_batch_string():
+    from repro.errors import ConfigurationError
+    from repro.parallel.context import resolve_batch
+
+    with pytest.raises(ConfigurationError, match="'wide'"):
+        resolve_batch("wide")

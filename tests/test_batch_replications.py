@@ -36,6 +36,22 @@ def _config(algorithm: str, seed: int = 7) -> SimulationConfig:
                             n_operations=N_OPERATIONS, seed=seed)
 
 
+def _synthetic_calibration():
+    """A calibration whose cost model makes every width look great, so
+    ``choose_width`` deterministically picks the widest candidate."""
+    from repro.des import autotune
+
+    entries = {
+        protocol: autotune.ProtocolCalibration(
+            protocol=protocol, overhead_per_dispatch=1e-6,
+            cost_per_lane_dispatch=1e-9, dispatches=100.0,
+            events_per_lane=1000.0, scalar_events_per_sec=1000.0)
+        for protocol in ("coupling", "optimistic")}
+    return autotune.BatchCalibration(
+        entries=entries, probe_widths=(32, 256),
+        fingerprint=autotune._fingerprint(), generated_at="test")
+
+
 @pytest.mark.parametrize(
     "algorithm", [spec.name for spec in all_algorithms()])
 class TestFixedSeedEquivalence:
@@ -51,6 +67,22 @@ class TestFixedSeedEquivalence:
         assert run_replication_batch(configs) == \
             [run_simulation(c) for c in configs]
 
+    def test_auto_batch_matches_scalar(self, algorithm, tmp_path,
+                                       monkeypatch):
+        # batch="auto" resolves a width from the persisted calibration
+        # and must stay bit-identical to the scalar path whatever width
+        # it lands on.  A synthetic calibration (favoring the widest
+        # candidate) is pre-seeded so the test never pays a probe run.
+        from repro.des import autotune
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        autotune.save_calibration(_synthetic_calibration(),
+                                  autotune.calibration_path(None))
+        config = _config(algorithm)
+        scalar = run_replications(config, n_seeds=N_SEEDS)
+        auto = run_replications(config, n_seeds=N_SEEDS, batch="auto")
+        assert auto == scalar
+
 
 def test_every_registered_algorithm_is_vector_capable():
     # The ISSUE's contract: any spec opting into the batch path must be
@@ -60,7 +92,13 @@ def test_every_registered_algorithm_is_vector_capable():
     # failing anything, so pin today's expectation explicitly.
     for spec in all_algorithms():
         assert spec.vector_capable, spec.name
+        assert spec.vector_tier in ("lock", "full"), spec.name
         assert batch_capable(_config(spec.name))
+    # The two paper algorithms whose descents the vector B-tree kernel
+    # models are tiered "full"; dropping the tier would silently shrink
+    # the kernel's advertised coverage.
+    assert get_algorithm("naive-lock-coupling").vector_tier == "full"
+    assert get_algorithm("optimistic-descent").vector_tier == "full"
 
 
 def test_cache_keys_ignore_batch(tmp_path):
@@ -97,7 +135,7 @@ class TestFallbackContract:
         spec = get_algorithm("link-type")
         monkeypatch.setitem(
             _REGISTRY, "link-type",
-            dataclasses.replace(spec, vector_capable=False))
+            dataclasses.replace(spec, vector_tier="none"))
         task = SimTask(_config("link-type"))
         assert not _batch_eligible(task)
         with pytest.raises(ConfigurationError):
@@ -127,5 +165,10 @@ def test_cli_accepts_batch_flag():
     assert args.batch == 8
     args = parser.parse_args(["simulate", "--batch", "4"])
     assert args.batch == 4
+    for command in (["run", "fig03"], ["figures", "fig03"], ["simulate"]):
+        args = parser.parse_args(command + ["--batch", "auto"])
+        assert args.batch == "auto"
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "fig03", "--batch", "-1"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig03", "--batch", "wide"])
