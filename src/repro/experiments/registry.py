@@ -79,6 +79,9 @@ EXPERIMENTS: Dict[str, Experiment] = dict([
            "Insert response vs hotspot access skew", True),
     _entry("ext06", "Extension: OLC",
            "Optimistic Lock-coupling added to the comparison", True),
+    _entry("ext07", "Extension: workload",
+           "Algorithm comparison under bursty / skewed / migrating "
+           "workload traces", True),
 ])
 
 

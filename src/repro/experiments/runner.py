@@ -4,6 +4,7 @@ Usage::
 
     btree-perf list
     btree-perf list-algorithms
+    btree-perf list-workloads
     btree-perf run fig03 [--scale 0.2] [--no-sim] [--csv] [--jobs 4]
     btree-perf all [--scale 0.1] [--jobs 4]
     btree-perf figures --all [--scale 0.1] [--jobs 4] [--out figures]
@@ -71,6 +72,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the available experiments")
     sub.add_parser("list-algorithms",
                    help="list the registered algorithms and capabilities")
+    sub.add_parser("list-workloads",
+                   help="list the registered workload components "
+                        "(arrival processes and key distributions)")
     sub.add_parser("claims", help="evaluate the paper's in-text claims")
 
     run = sub.add_parser("run", help="run one experiment")
@@ -321,6 +325,21 @@ def _dispatch(args) -> int:
                 caps = ", ".join(spec.capabilities()) or "-"
                 print(f"{spec.name:<26} {spec.label:<32} {model:<9} "
                       f"{vec:<10} {caps}")
+            return 0
+        if args.command == "list-workloads":
+            from repro.workload import (
+                all_arrival_processes,
+                all_key_distributions,
+            )
+            for component in (all_arrival_processes()
+                              + all_key_distributions()):
+                path = "vector" if component.vector_native \
+                    else "scalar-fallback"
+                print(f"{component.category:<8} {component.name:<12} "
+                      f"{path:<16} {component.label}")
+            print(f"{'txn':<8} {'envelope':<12} {'scalar-fallback':<16} "
+                  "multi-op transaction envelopes "
+                  "(TransactionSpec(size=k), k > 1)")
             return 0
         if args.command == "claims":
             from repro.experiments.claims import evaluate_claims, format_claims

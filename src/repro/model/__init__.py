@@ -56,12 +56,18 @@ from repro.model.closed import (
     ClosedSystemPrediction,
     closed_system_prediction,
 )
+from repro.model.workload import (
+    EffectiveLoad,
+    effective_load,
+    piecewise_response,
+)
 
 __all__ = [
     "AlgorithmPrediction",
     "ClosedSystemPrediction",
     "closed_system_prediction",
     "CostModel",
+    "EffectiveLoad",
     "LEAF_ONLY_RECOVERY",
     "LevelSolution",
     "ModelConfig",
@@ -81,9 +87,11 @@ __all__ = [
     "analyze_two_phase",
     "arrival_rate_for_root_utilization",
     "compare_prediction_to_simulation",
+    "effective_load",
     "max_throughput",
     "measured_model_config",
     "paper_default_config",
+    "piecewise_response",
     "rule_of_thumb_1",
     "rule_of_thumb_2",
     "rule_of_thumb_3",

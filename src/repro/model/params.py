@@ -45,7 +45,10 @@ class OperationMix:
                 raise ConfigurationError(f"{name}={q} outside [0, 1]")
         total = self.q_search + self.q_insert + self.q_delete
         if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
-            raise ConfigurationError(f"mix sums to {total}, not 1")
+            raise ConfigurationError(
+                f"operation mix (q_search={self.q_search}, "
+                f"q_insert={self.q_insert}, q_delete={self.q_delete}) "
+                f"sums to {total}, not 1")
 
     @property
     def q_update(self) -> float:

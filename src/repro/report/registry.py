@@ -166,6 +166,7 @@ _ENTRIES: Tuple[FigureSpec, ...] = (
     )),
     FigureSpec("ext05", "ext"),
     FigureSpec("ext06", "ext"),
+    FigureSpec("ext07", "ext"),
 )
 
 

@@ -26,7 +26,7 @@ from repro.des.rwlock import RWLock
 from repro.errors import ConfigurationError
 from repro.simulator.config import SimulationConfig
 from repro.simulator.costs import ServiceTimeSampler
-from repro.simulator.driver import _GatedObserver, make_key_picker
+from repro.simulator.driver import _GatedObserver
 from repro.simulator.metrics import MetricsCollector, SimulationResult, summarize
 from repro.simulator.operations import (
     OP_DELETE,
@@ -35,6 +35,7 @@ from repro.simulator.operations import (
     OperationContext,
     pick_resident_key,
 )
+from repro.workload.runtime import WorkloadRuntime
 
 #: Interval between root-utilization samples (as in the open driver).
 _ROOT_SAMPLE_INTERVAL = 1.0
@@ -92,17 +93,25 @@ def run_closed_simulation(config: SimulationConfig,
     target = config.n_operations
     completions = [0]
 
-    picker = make_key_picker(config, rng_keys)
+    # Key distribution and (hoisted) mix thresholds come from the
+    # workload layer.  The arrival process is ignored — the fixed
+    # population is the load control in a closed system — and
+    # transaction envelopes are an open-system construct.
+    runtime = WorkloadRuntime(config, rng_keys)
+    if runtime.transaction_size != 1:
+        raise ConfigurationError(
+            "transaction envelopes are not modelled in the closed "
+            "system (each terminal already serialises its operations); "
+            "use the open simulator for TransactionSpec(size > 1)")
+    picker = runtime.picker
 
     def draw_operation() -> tuple:
-        u = rng_keys.random()
-        if u < config.mix.q_search:
-            return OP_SEARCH, picker.pick()
-        if u < config.mix.q_search + config.mix.q_insert:
-            return OP_INSERT, picker.pick()
-        return OP_DELETE, pick_resident_key(tree, rng_keys,
-                                            config.key_space,
-                                            probe=picker.pick())
+        op_name = runtime.draw_operation(rng_keys)
+        if op_name == OP_DELETE:
+            return OP_DELETE, pick_resident_key(tree, rng_keys,
+                                                config.key_space,
+                                                probe=picker.pick(sim.now))
+        return op_name, picker.pick(sim.now)
 
     def terminal():
         while True:

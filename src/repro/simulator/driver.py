@@ -46,10 +46,23 @@ from repro.simulator.operations import (
     OperationContext,
     pick_resident_key,
 )
-from repro.workloads.keyspace import HotspotKeys, KeyPicker, UniformKeys
+from repro.obs.instruments import NULL_INSTRUMENTS
+from repro.workload.keys import KeyPicker
+from repro.workload.runtime import WorkloadRuntime
+from repro.workload.spec import effective_workload
+from repro.workload.transactions import (
+    TransactionLockTable,
+    transaction_envelope,
+)
+import repro.workload.runtime as _workload_runtime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.cache import ResultCache
+
+# The workload runtime emits operation labels without importing the
+# simulator (layering); the two constant sets must stay identical.
+assert (_workload_runtime._SEARCH, _workload_runtime._INSERT,
+        _workload_runtime._DELETE) == (OP_SEARCH, OP_INSERT, OP_DELETE)
 
 #: Interval (in root-search time units) between root-utilization samples.
 _ROOT_SAMPLE_INTERVAL = 1.0
@@ -212,15 +225,48 @@ def _prepare_run(config: SimulationConfig, trace=None,
         metrics.measuring = True
         metrics.measure_start_time = 0.0
 
-    picker = make_key_picker(config, rng_keys)
+    runtime = WorkloadRuntime(config, rng_keys)
+    picker = runtime.picker
+    txn_size = runtime.transaction_size
+    key_space = config.key_space
+
+    # workload.* telemetry instruments (docs/observability.md): offered
+    # load, interarrival gaps, hot-key share and transaction lock-hold
+    # times.  NULL_INSTRUMENTS keeps the disabled path allocation-free.
+    wl_instruments = telemetry.instruments if telemetry is not None \
+        else NULL_INSTRUMENTS
+    wl_arrivals = wl_instruments.counter("workload.arrivals")
+    wl_interarrival = wl_instruments.timer("workload.interarrival")
+    wl_keys_total = wl_instruments.counter("workload.keys")
+    wl_keys_hot = wl_instruments.counter("workload.keys_hot")
+    wl_txn_hold = wl_instruments.timer("workload.txn_hold")
+
+    if telemetry is not None:
+        def note_key(key: int, now: float) -> None:
+            wl_keys_total.inc()
+            hot = picker.hot_interval(now)
+            if hot is not None:
+                start, size = hot
+                if (key - start) % key_space < size:
+                    wl_keys_hot.inc()
+    else:
+        def note_key(key: int, now: float) -> None:
+            pass
+
+    def draw_member(now: float):
+        """One (operation, key) draw — identical stream order to the
+        legacy driver (mix from rng_arrivals, key from rng_keys)."""
+        op_name = runtime.draw_operation(rng_arrivals)
+        if op_name == OP_DELETE:
+            key = pick_resident_key(tree, rng_keys, key_space,
+                                    probe=picker.pick(now))
+        else:
+            key = picker.pick(now)
+        note_key(key, now)
+        return op_name, key
 
     def spawn_operation() -> None:
-        op_name = _draw_operation(config, rng_arrivals)
-        if op_name == OP_DELETE:
-            key = pick_resident_key(tree, rng_keys, config.key_space,
-                                    probe=picker.pick())
-        else:
-            key = picker.pick()
+        op_name, key = draw_member(sim.now)
         factory = getattr(module, op_name)
         state.population += 1
         metrics.note_population(state.population)
@@ -231,11 +277,38 @@ def _prepare_run(config: SimulationConfig, trace=None,
         sim.spawn(factory(ctx, key), name=op_name,
                   on_done=on_operation_done)
 
+    txn_table = TransactionLockTable() if txn_size > 1 else None
+
+    def spawn_transaction() -> None:
+        now = sim.now
+        members = tuple(draw_member(now) for _ in range(txn_size))
+        state.population += 1
+        metrics.note_population(state.population)
+        if state.population > config.max_population:
+            state.overflowed = True
+            sim.stop()
+            return
+        sim.spawn(
+            transaction_envelope(module, ctx, members, txn_table,
+                                 on_commit=wl_txn_hold.observe),
+            name="transaction", on_done=on_operation_done)
+
+    spawn = spawn_operation if txn_size == 1 else spawn_transaction
+
     def arrivals():
-        rate = config.arrival_rate
+        sampler = runtime.arrival_sampler(config.arrival_rate,
+                                          rng_arrivals)
+        # Hoisted bound methods: no per-arrival attribute or config
+        # lookups in the hot loop.
+        next_interval = sampler.next_interval
+        count_arrival = wl_arrivals.inc
+        observe_gap = wl_interarrival.observe
         while True:
-            yield rng_arrivals.expovariate(rate)
-            spawn_operation()
+            gap = next_interval()
+            yield gap
+            count_arrival()
+            observe_gap(gap)
+            spawn()
 
     def root_sampler():
         while True:
@@ -297,15 +370,16 @@ def _finalize_run(prepared: _PreparedRun):
 
 def make_key_picker(config: SimulationConfig,
                     rng: random.Random) -> KeyPicker:
-    """The key-selection distribution the configuration asks for."""
-    if config.key_distribution == "hotspot":
-        return HotspotKeys(config.key_space, rng,
-                           hot_fraction=config.hot_fraction,
-                           hot_probability=config.hot_probability)
-    return UniformKeys(config.key_space, rng)
+    """The key-selection distribution the configuration asks for,
+    resolved through the workload layer (the explicit ``workload``
+    field wins; the legacy ``key_distribution`` fields map onto the
+    equivalent spec)."""
+    return effective_workload(config).keys.build(config.key_space, rng)
 
 
 def _draw_operation(config: SimulationConfig, rng: random.Random) -> str:
+    """Deprecated per-call mix draw (kept for external callers; the
+    driver hoists the thresholds through :class:`WorkloadRuntime`)."""
     u = rng.random()
     if u < config.mix.q_search:
         return OP_SEARCH

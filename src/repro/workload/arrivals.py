@@ -1,0 +1,120 @@
+"""Runtime arrival-process samplers.
+
+A sampler turns an :class:`~repro.workload.spec.ArrivalSpec` plus a
+base rate and a ``random.Random`` stream into a sequence of
+interarrival intervals.  Samplers are *stateful* and track their own
+elapsed time: the driver's arrivals process yields exactly the
+intervals it draws, so a sampler's internal clock equals simulated
+time without threading ``sim.now`` through the hot loop.
+
+Every sampler draws from its RNG in a fixed, documented order, so a
+fixed seed pins the whole stream (the stability tests in
+``tests/test_workload_generators.py`` pin each one's draw sequence).
+:class:`PoissonSampler` performs the identical
+``rng.expovariate(rate)`` call the legacy driver made, keeping the
+default workload bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, Tuple
+
+__all__ = ["PoissonSampler", "MMPPSampler", "PiecewiseSampler"]
+
+
+class PoissonSampler:
+    """Stationary Poisson arrivals at ``rate`` — one ``expovariate``
+    per interval, exactly the legacy draw."""
+
+    __slots__ = ("rng", "rate")
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self.rng = rng
+        self.rate = rate
+
+    def next_interval(self) -> float:
+        return self.rng.expovariate(self.rate)
+
+
+class MMPPSampler:
+    """Two-state ON/OFF Markov-modulated Poisson sampler.
+
+    Within a state the stream is Poisson at that state's rate, so the
+    sampler redraws a fresh exponential after each state switch — exact
+    by memorylessness, one hazard race per candidate arrival.  Draw
+    order per ``next_interval``: zero or more (sojourn, gap) pairs as
+    states are crossed, ending with the gap that lands inside the
+    current sojourn.
+    """
+
+    __slots__ = ("rng", "_rates", "_means", "_on", "_until")
+
+    def __init__(self, rate: float, rng: random.Random, spec) -> None:
+        self.rng = rng
+        self._rates = (rate * spec.on_factor, rate * spec.off_factor)
+        self._means = (spec.mean_on, spec.mean_off)
+        self._on = True
+        self._until = rng.expovariate(1.0 / spec.mean_on)
+
+    def next_interval(self) -> float:
+        waited = 0.0
+        while True:
+            state = 0 if self._on else 1
+            state_rate = self._rates[state]
+            gap = self.rng.expovariate(state_rate) if state_rate > 0.0 \
+                else math.inf
+            if gap <= self._until:
+                self._until -= gap
+                return waited + gap
+            waited += self._until
+            self._on = not self._on
+            mean = self._means[0 if self._on else 1]
+            self._until = self.rng.expovariate(1.0 / mean)
+
+
+class PiecewiseSampler:
+    """Arrivals under a piecewise-constant rate profile, by inversion.
+
+    One unit-mean exponential hazard target per interval, integrated
+    exactly through the (duration, factor) segments — no thinning, no
+    rejected draws.  ``cycle=True`` repeats the profile forever (the
+    diurnal schedule); ``cycle=False`` runs the profile once and then
+    continues at ``tail_factor`` x the base rate forever (the
+    flash-crowd spike).
+    """
+
+    __slots__ = ("rng", "_segments", "_cycle", "_tail_rate", "_index",
+                 "_into")
+
+    def __init__(self, rate: float, rng: random.Random,
+                 segments: Sequence[Tuple[float, float]], *,
+                 cycle: bool = True, tail_factor: float = 1.0) -> None:
+        self.rng = rng
+        self._segments = tuple((duration, rate * factor)
+                               for duration, factor in segments
+                               if duration > 0.0)
+        self._cycle = cycle
+        self._tail_rate = rate * tail_factor
+        self._index = 0
+        self._into = 0.0  # elapsed time within the current segment
+
+    def next_interval(self) -> float:
+        target = self.rng.expovariate(1.0)
+        waited = 0.0
+        while self._index < len(self._segments):
+            duration, seg_rate = self._segments[self._index]
+            remaining = duration - self._into
+            if seg_rate > 0.0 and target <= seg_rate * remaining:
+                dt = target / seg_rate
+                self._into += dt
+                return waited + dt
+            target -= seg_rate * remaining
+            waited += remaining
+            self._into = 0.0
+            self._index += 1
+            if self._cycle and self._index == len(self._segments):
+                self._index = 0
+        # Non-cycling profile exhausted: constant tail rate.
+        return waited + target / self._tail_rate

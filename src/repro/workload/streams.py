@@ -1,0 +1,177 @@
+"""Pre-drawn per-lane streams for the vectorized kernels.
+
+The struct-of-arrays kernels (:mod:`repro.des.vector` and
+:mod:`repro.des.vector_btree`) consume *schedule tables* — per-lane
+arrays of think times and key draws — and so do their scalar oracles.
+That symmetry means a workload only has to shape the *tables*: both
+kernels then execute the shaped schedule bit-identically, and the
+equivalence guarantees of PR 6/8 carry over to every vector-native
+workload for free.
+
+This module maps a :class:`~repro.workload.spec.WorkloadSpec` onto
+those tables:
+
+* **Key distributions** transform the kernel's uniform key draws in
+  place (:func:`transform_key_uniforms`) — uniform is the identity,
+  hotspot and Zipf are closed-form monotone maps.  The migrating
+  hotspot depends on simulated time, which is unknown at pre-draw
+  time, so it is *not* vector-native.
+* **Arrival processes** scale the think-time draws by per-operation
+  rate factors sampled from the process's stationary state mixture
+  (:func:`arrival_think_factors`) — an ON-state operation thinks
+  ``1/on_factor`` as long, and so on.  The transient flash-crowd
+  spike has no stationary mixture and is not vector-native.
+* **Transactions** change the lock *schedule* itself (envelopes hold
+  locks across operations), which the array-shaped descent state does
+  not model — ``size > 1`` always takes the scalar path.
+
+``WorkloadSpec().vector_native()`` gates all of this; for the default
+spec the shaped tables are bit-identical to the specs' own
+``tables()`` / ``durations()`` output (identity transform, factor 1).
+The replication *batch* driver (:mod:`repro.simulator.batch`) is
+workload-agnostic either way — it frontier-multiplexes full scalar
+simulators, so non-vector-native workloads still batch correctly, just
+without vector arithmetic underneath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.spec import (
+    ArrivalSpec,
+    HotspotKeysSpec,
+    KeySpec,
+    UniformKeysSpec,
+    WorkloadSpec,
+    ZipfKeysSpec,
+)
+
+__all__ = [
+    "supports_pre_draw",
+    "transform_key_uniforms",
+    "arrival_think_factors",
+    "workload_btree_tables",
+    "workload_lock_durations",
+]
+
+#: Fibonacci-hash multiplier (kept in sync with
+#: :func:`repro.workload.keys.scramble_key`).
+_SCRAMBLE_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def supports_pre_draw(workload: WorkloadSpec) -> bool:
+    """True when every component of ``workload`` can be represented as
+    pre-drawn per-lane streams (see the module docstring)."""
+    return workload.vector_native()
+
+
+def transform_key_uniforms(keys: KeySpec, u: np.ndarray) -> np.ndarray:
+    """Map uniform key draws ``u`` in [0, 1) through ``keys``.
+
+    Returns an array of the same shape, still in [0, 1): the kernels
+    scale by their per-level fanouts themselves.  Raises
+    :class:`~repro.errors.ConfigurationError` for distributions that
+    are not vector-native (callers fall back to scalar lanes).
+    """
+    if isinstance(keys, UniformKeysSpec):
+        return u
+    if isinstance(keys, HotspotKeysSpec):
+        p, f = keys.hot_probability, keys.hot_fraction
+        hot = u < p
+        out = np.empty_like(u)
+        # Hot draws compress into [0, f); cold draws spread over [f, 1).
+        out[hot] = u[hot] / p * f if p > 0 else 0.0
+        cold = ~hot
+        out[cold] = f + (u[cold] - p) / (1.0 - p) * (1.0 - f)
+        return out
+    if isinstance(keys, ZipfKeysSpec):
+        # The continuous bounded-Pareto inverse CDF on [1, N], scaled
+        # back to [0, 1); N is a nominal resolution — the kernels remap
+        # to their own fanouts, so only the shape matters.
+        n = 1 << 20
+        power = 1.0 - keys.theta
+        x = ((n ** power - 1.0) * u + 1.0) ** (1.0 / power)
+        out = (x - 1.0) / n
+        if keys.scramble:
+            hashed = (out * n).astype(np.uint64) * _SCRAMBLE_MULTIPLIER
+            out = (hashed % np.uint64(n)).astype(np.float64) / n
+        return np.minimum(out, np.nextafter(1.0, 0.0))
+    raise ConfigurationError(
+        f"key distribution {type(keys).__name__} is not vector-native; "
+        "use the scalar batch path")
+
+
+def arrival_think_factors(arrival: ArrivalSpec, rng: np.random.Generator,
+                          shape) -> np.ndarray:
+    """Per-operation rate factors drawn from the process's stationary
+    segment mixture (think times divide by these)."""
+    segments = arrival.factor_segments()
+    if not arrival.vector_native:
+        raise ConfigurationError(
+            f"arrival process {type(arrival).__name__} is not "
+            "vector-native; use the scalar batch path")
+    if len(segments) == 1:
+        return np.full(shape, segments[0][1])
+    weights = np.array([w for w, _ in segments])
+    factors = np.array([f for _, f in segments])
+    picks = rng.choice(len(segments), size=shape,
+                       p=weights / weights.sum())
+    return factors[picks]
+
+
+def workload_btree_tables(spec, n_lanes: int, workload: WorkloadSpec):
+    """Workload-shaped :class:`~repro.des.vector_btree.BTreeTables`.
+
+    Mirrors ``BTreeDescentSpec.tables`` draw order (key, think,
+    service, modify, split — per lane, ``default_rng(seed + lane)``)
+    and then shapes keys and think times; the arrival factors are drawn
+    *after* the base tables so the shared prefix stays lane-stable.
+    For the default workload the result is bit-identical to
+    ``spec.tables(n_lanes)``.
+    """
+    from repro.des.vector_btree import BTreeTables
+
+    if not supports_pre_draw(workload):
+        raise ConfigurationError(
+            "workload is not vector-native; use the scalar batch path")
+    P, J, H = spec.n_procs, spec.iterations, spec.n_levels
+    think = np.empty((n_lanes, P, J))
+    svc = np.empty((n_lanes, P, J, 2, H))
+    mod = np.empty((n_lanes, P, J, 2))
+    split = np.empty((n_lanes, P, J))
+    path = np.empty((n_lanes, P, J, H), dtype=np.int64)
+    offsets = spec.node_offsets()
+    for lane in range(n_lanes):
+        rng = np.random.default_rng(spec.seed + lane)
+        key = transform_key_uniforms(workload.keys, rng.random((P, J)))
+        think[lane] = rng.uniform(spec.think_low, spec.think_high, (P, J))
+        svc[lane] = rng.uniform(spec.svc_low, spec.svc_high, (P, J, 2, H))
+        mod[lane] = rng.uniform(spec.mod_low, spec.mod_high, (P, J, 2))
+        split[lane] = rng.uniform(spec.split_low, spec.split_high, (P, J))
+        think[lane] /= arrival_think_factors(workload.arrival, rng,
+                                             (P, J))
+        for d in range(H):
+            path[lane, :, :, d] = offsets[d] \
+                + (key * spec.levels[d]).astype(np.int64)
+    return BTreeTables(think=think, svc=svc, mod=mod, split=split,
+                       path=path)
+
+
+def workload_lock_durations(spec, n_lanes: int, workload: WorkloadSpec):
+    """Workload-shaped ``(hold, think)`` tables for the single-lock
+    contention kernel (mirrors ``LockContentionSpec.durations``)."""
+    if not supports_pre_draw(workload):
+        raise ConfigurationError(
+            "workload is not vector-native; use the scalar batch path")
+    shape = (spec.n_procs, spec.iterations)
+    hold = np.empty((n_lanes,) + shape)
+    think = np.empty((n_lanes,) + shape)
+    for lane in range(n_lanes):
+        rng = np.random.default_rng(spec.seed + lane)
+        hold[lane] = rng.uniform(spec.hold_low, spec.hold_high, shape)
+        think[lane] = rng.uniform(spec.think_low, spec.think_high, shape)
+        think[lane] /= arrival_think_factors(workload.arrival, rng,
+                                             shape)
+    return hold, think

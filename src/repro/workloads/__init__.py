@@ -1,21 +1,19 @@
-"""Workload generation: operation mixes and key-selection distributions.
+"""Deprecated alias of :mod:`repro.workload` (note the singular).
 
-The paper's workload is fully specified by the mix (q_s, q_i, q_d) and
-uniform random keys; this subpackage exposes those plus a couple of
-realistic extensions (read-heavy / hotspot workloads) used by the domain
-examples.
+This package used to hold the operation mixes and key-selection
+distributions; they grew into the full pluggable workload subsystem
+under :mod:`repro.workload` (arrival processes, skewed and migrating
+key distributions, transaction envelopes — see ``docs/workloads.md``).
+Every public name is still importable from here, with a
+:class:`DeprecationWarning`; new code should import from
+``repro.workload``.
 """
 
-from repro.workloads.mixes import (
-    INSERT_ONLY,
-    PAPER_MIX,
-    READ_HEAVY,
-    UPDATE_HEAVY,
-    draw_operation,
-)
-from repro.workloads.keyspace import HotspotKeys, KeyPicker, UniformKeys
+from __future__ import annotations
 
-__all__ = [
+import warnings
+
+_FORWARDED = (
     "HotspotKeys",
     "INSERT_ONLY",
     "KeyPicker",
@@ -24,4 +22,21 @@ __all__ = [
     "UPDATE_HEAVY",
     "UniformKeys",
     "draw_operation",
-]
+)
+
+__all__ = list(_FORWARDED)
+
+
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.workloads.{name} is deprecated; import {name} from "
+            "repro.workload (the pluggable workload subsystem)",
+            DeprecationWarning, stacklevel=2)
+        import repro.workload
+        return getattr(repro.workload, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_FORWARDED))

@@ -1,58 +1,18 @@
-"""Key-selection distributions.
-
-The paper draws keys uniformly.  ``HotspotKeys`` adds the classic 80/20
-skew used by the capacity-planning example to show how contention
-concentrates on a sub-range (and hence on a subtree).
-"""
+"""Deprecated alias of :mod:`repro.workload.keys`."""
 
 from __future__ import annotations
 
-import random
+import warnings
 
-from repro.errors import ConfigurationError
+warnings.warn(
+    "repro.workloads.keyspace is deprecated; import from "
+    "repro.workload.keys (the pluggable workload subsystem)",
+    DeprecationWarning, stacklevel=2)
 
+from repro.workload.keys import (  # noqa: E402
+    HotspotKeys,
+    KeyPicker,
+    UniformKeys,
+)
 
-class KeyPicker:
-    """Interface: draw integer keys from a universe of size ``key_space``."""
-
-    def __init__(self, key_space: int, rng: random.Random) -> None:
-        if key_space < 1:
-            raise ConfigurationError(f"key space must be >= 1, got {key_space}")
-        self.key_space = key_space
-        self.rng = rng
-
-    def pick(self) -> int:
-        raise NotImplementedError
-
-
-class UniformKeys(KeyPicker):
-    """Uniform keys over [0, key_space) — the paper's workload."""
-
-    def pick(self) -> int:
-        return self.rng.randrange(self.key_space)
-
-
-class HotspotKeys(KeyPicker):
-    """A fraction of accesses concentrates on a fraction of the keyspace.
-
-    With the defaults, 80% of the picks land in the first 20% of the key
-    range (a contiguous hot subtree).
-    """
-
-    def __init__(self, key_space: int, rng: random.Random,
-                 hot_fraction: float = 0.2,
-                 hot_probability: float = 0.8) -> None:
-        super().__init__(key_space, rng)
-        if not 0.0 < hot_fraction < 1.0:
-            raise ConfigurationError("hot_fraction must be in (0, 1)")
-        if not 0.0 <= hot_probability <= 1.0:
-            raise ConfigurationError("hot_probability must be in [0, 1]")
-        self.hot_fraction = hot_fraction
-        self.hot_probability = hot_probability
-        self._hot_size = max(1, int(key_space * hot_fraction))
-
-    def pick(self) -> int:
-        if self.rng.random() < self.hot_probability:
-            return self.rng.randrange(self._hot_size)
-        return self._hot_size + self.rng.randrange(
-            max(1, self.key_space - self._hot_size))
+__all__ = ["HotspotKeys", "KeyPicker", "UniformKeys"]

@@ -5,7 +5,8 @@ import importlib
 import pytest
 
 PACKAGES = ("repro", "repro.des", "repro.btree", "repro.model",
-            "repro.simulator", "repro.workloads", "repro.experiments")
+            "repro.simulator", "repro.workload", "repro.workloads",
+            "repro.experiments")
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)
@@ -15,7 +16,7 @@ def test_package_imports(package_name):
 
 @pytest.mark.parametrize("package_name",
                          ("repro", "repro.des", "repro.btree",
-                          "repro.model"))
+                          "repro.model", "repro.workload"))
 def test_all_entries_resolve(package_name):
     package = importlib.import_module(package_name)
     for name in getattr(package, "__all__", ()):

@@ -1,0 +1,195 @@
+"""Workload-shaped pre-drawn streams for the vectorized kernels.
+
+The tables contract: both the vector kernels and their scalar oracles
+consume the same pre-drawn schedule tables, so a workload only has to
+shape the tables — the PR 6/8 bit-equivalence then carries over to
+every vector-native workload for free.  These tests enforce (a) the
+default workload shapes to *bit-identical* tables, (b) shaped tables
+still satisfy vector == scalar-oracle equivalence, and (c) the
+transforms have the right distributional properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des.vector import (
+    LockContentionSpec,
+    assert_equivalent,
+    run_scalar_reference,
+    run_vectorized,
+)
+from repro.des.vector_btree import (
+    BTreeDescentSpec,
+    assert_btree_equivalent,
+    run_btree_vectorized,
+    run_scalar_btree_reference,
+)
+from repro.errors import ConfigurationError
+from repro.workload import (
+    DEFAULT_WORKLOAD,
+    HotspotKeysSpec,
+    MMPPArrivals,
+    MigratingHotspotKeysSpec,
+    PoissonArrivals,
+    SpikeArrivals,
+    TransactionSpec,
+    UniformKeysSpec,
+    WorkloadSpec,
+    ZipfKeysSpec,
+)
+from repro.workload.streams import (
+    arrival_think_factors,
+    supports_pre_draw,
+    transform_key_uniforms,
+    workload_btree_tables,
+    workload_lock_durations,
+)
+
+N_LANES = 3
+_SHAPED = WorkloadSpec(arrival=MMPPArrivals(),
+                       keys=ZipfKeysSpec(theta=0.8))
+
+
+def _btree_spec(**overrides) -> BTreeDescentSpec:
+    defaults = dict(n_procs=6, iterations=5)
+    defaults.update(overrides)
+    return BTreeDescentSpec(**defaults)
+
+
+def _lock_spec(**overrides) -> LockContentionSpec:
+    return LockContentionSpec(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Default workload: bit-identical tables
+# ----------------------------------------------------------------------
+class TestDefaultIdentity:
+
+    def test_btree_tables_bit_identical(self):
+        spec = _btree_spec()
+        plain = spec.tables(N_LANES)
+        shaped = workload_btree_tables(spec, N_LANES, DEFAULT_WORKLOAD)
+        for name in ("think", "svc", "mod", "split", "path"):
+            np.testing.assert_array_equal(getattr(plain, name),
+                                          getattr(shaped, name))
+
+    def test_lock_durations_bit_identical(self):
+        spec = _lock_spec()
+        plain_hold, plain_think = spec.durations(N_LANES)
+        hold, think = workload_lock_durations(spec, N_LANES,
+                                              DEFAULT_WORKLOAD)
+        np.testing.assert_array_equal(plain_hold, hold)
+        np.testing.assert_array_equal(plain_think, think)
+
+
+# ----------------------------------------------------------------------
+# Shaped tables: vector == scalar oracle
+# ----------------------------------------------------------------------
+class TestShapedEquivalence:
+
+    @pytest.mark.parametrize("protocol", ["coupling", "optimistic"])
+    def test_btree_vector_matches_oracle_on_shaped_tables(self,
+                                                          protocol):
+        spec = _btree_spec(protocol=protocol)
+        tables = workload_btree_tables(spec, N_LANES, _SHAPED)
+        vector = run_btree_vectorized(spec, N_LANES, tables=tables)
+        scalars = [run_scalar_btree_reference(spec, lane, tables=tables)
+                   for lane in range(N_LANES)]
+        assert_btree_equivalent(vector, scalars)
+
+    def test_lock_vector_matches_oracle_on_shaped_durations(self):
+        spec = _lock_spec()
+        durations = workload_lock_durations(spec, N_LANES, _SHAPED)
+        vector = run_vectorized(spec, N_LANES, durations=durations)
+        scalars = [run_scalar_reference(spec, lane, durations=durations)
+                   for lane in range(N_LANES)]
+        assert_equivalent(vector, scalars)
+
+    def test_shaped_tables_differ_from_plain(self):
+        spec = _btree_spec()
+        plain = spec.tables(1)
+        shaped = workload_btree_tables(spec, 1, _SHAPED)
+        assert not np.array_equal(plain.path, shaped.path)
+        assert not np.array_equal(plain.think, shaped.think)
+
+
+# ----------------------------------------------------------------------
+# Pre-draw gating
+# ----------------------------------------------------------------------
+class TestPreDrawGate:
+
+    @pytest.mark.parametrize("workload,expected", [
+        (DEFAULT_WORKLOAD, True),
+        (_SHAPED, True),
+        (WorkloadSpec(arrival=SpikeArrivals()), False),
+        (WorkloadSpec(keys=MigratingHotspotKeysSpec()), False),
+        (WorkloadSpec(transaction=TransactionSpec(size=2)), False),
+    ], ids=["default", "mmpp-zipf", "spike", "migrating", "txn"])
+    def test_supports_pre_draw(self, workload, expected):
+        assert supports_pre_draw(workload) is expected
+
+    def test_non_native_workload_rejected_by_table_builders(self):
+        spec = _btree_spec()
+        bad = WorkloadSpec(keys=MigratingHotspotKeysSpec())
+        with pytest.raises(ConfigurationError, match="scalar"):
+            workload_btree_tables(spec, 1, bad)
+        with pytest.raises(ConfigurationError, match="scalar"):
+            workload_lock_durations(_lock_spec(), 1, bad)
+
+    def test_non_native_components_rejected_by_transforms(self):
+        with pytest.raises(ConfigurationError):
+            transform_key_uniforms(MigratingHotspotKeysSpec(),
+                                   np.linspace(0, 0.99, 8))
+        with pytest.raises(ConfigurationError):
+            arrival_think_factors(SpikeArrivals(),
+                                  np.random.default_rng(0), (4,))
+
+
+# ----------------------------------------------------------------------
+# Transform properties
+# ----------------------------------------------------------------------
+class TestTransforms:
+
+    def test_uniform_transform_is_identity(self):
+        u = np.linspace(0.0, 0.999, 64)
+        assert transform_key_uniforms(UniformKeysSpec(), u) is u
+
+    def test_hotspot_transform_concentrates_mass(self):
+        rng = np.random.default_rng(5)
+        u = rng.random(20_000)
+        out = transform_key_uniforms(
+            HotspotKeysSpec(hot_fraction=0.2, hot_probability=0.8), u)
+        assert out.min() >= 0.0 and out.max() < 1.0
+        hot_share = float((out < 0.2).mean())
+        assert hot_share == pytest.approx(0.8, abs=0.02)
+
+    def test_zipf_transform_skews_low(self):
+        rng = np.random.default_rng(5)
+        u = rng.random(20_000)
+        out = transform_key_uniforms(ZipfKeysSpec(theta=0.9), u)
+        assert out.min() >= 0.0 and out.max() < 1.0
+        assert float((out < 0.1).mean()) > 0.5
+
+    def test_scrambled_zipf_stays_in_unit_interval(self):
+        rng = np.random.default_rng(5)
+        u = rng.random(10_000)
+        out = transform_key_uniforms(
+            ZipfKeysSpec(theta=0.9, scramble=True), u)
+        assert out.min() >= 0.0 and out.max() < 1.0
+        assert float((out < 0.1).mean()) < 0.3  # spread out
+
+    def test_poisson_factors_are_unit_and_draw_free(self):
+        rng = np.random.default_rng(11)
+        before = rng.bit_generator.state
+        factors = arrival_think_factors(PoissonArrivals(), rng, (3, 4))
+        assert factors.shape == (3, 4)
+        np.testing.assert_array_equal(factors, np.ones((3, 4)))
+        assert rng.bit_generator.state == before  # no draws consumed
+
+    def test_mmpp_factors_follow_stationary_mixture(self):
+        rng = np.random.default_rng(11)
+        factors = arrival_think_factors(MMPPArrivals(), rng, 50_000)
+        values = set(np.unique(factors))
+        assert values == {0.5, 3.0}
+        on_share = float((factors == 3.0).mean())
+        assert on_share == pytest.approx(50.0 / 250.0, abs=0.01)
