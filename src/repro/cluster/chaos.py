@@ -1,0 +1,67 @@
+"""Deterministic chaos schedules for cluster experiments.
+
+:func:`chaos_plan` maps (shard count, fault rate, horizon) to a
+:class:`~repro.resilience.faults.FaultPlan` of simulation-time faults.
+The schedule is a pure function of its arguments — no randomness — so
+the same experiment row always injects the same faults, the plan
+round-trips through ``REPRO_FAULTS``, and the ext08 sidecars are
+byte-identical across reruns (the chaos-smoke CI job asserts this).
+
+Fault windows are placed at fixed fractions of the horizon, on shards
+spread by a fixed stride, and sized so the rescue question is
+non-trivial: crash windows are longer than a typical retry horizon
+(some crash-window operations are rescued, some are not), and brownouts
+are long enough to push the primary's backlog past the circuit
+breaker's opening level.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.resilience.faults import (
+    REPLICA_LAG,
+    SHARD_CRASH,
+    SLOW_SHARD,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def chaos_plan(shards: int, fault_rate: int, horizon: float) -> FaultPlan:
+    """The injected fault schedule for one (shards, fault_rate) cell.
+
+    ``fault_rate`` counts chaos "waves": each wave adds one
+    ``shard-crash`` and one ``slow-shard`` window (the second wave also
+    adds a ``replica-lag`` window), targeting distinct shards where the
+    cluster has enough of them.  Rate 0 is the fault-free baseline.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"need >= 1 shard, got {shards}")
+    if fault_rate < 0:
+        raise ConfigurationError(
+            f"fault_rate counts chaos waves, must be >= 0, "
+            f"got {fault_rate}")
+    if horizon <= 0:
+        raise ConfigurationError(
+            f"horizon must be positive, got {horizon}")
+    specs = []
+    for wave in range(fault_rate):
+        # Spread waves over both time and the shard ring.
+        base = (0.15 + 0.40 * wave) * horizon
+        crash_shard = (3 * wave) % shards
+        slow_shard = (3 * wave + 1) % shards
+        lag_shard = (3 * wave + 2) % shards
+        specs.append(FaultSpec(
+            kind=SHARD_CRASH, task_index=crash_shard,
+            at=round(base, 6), duration=round(0.10 * horizon, 6),
+            factor=1.6))
+        specs.append(FaultSpec(
+            kind=SLOW_SHARD, task_index=slow_shard,
+            at=round(base + 0.16 * horizon, 6),
+            duration=round(0.15 * horizon, 6), factor=6.0))
+        if wave >= 1:
+            specs.append(FaultSpec(
+                kind=REPLICA_LAG, task_index=lag_shard,
+                at=round(base + 0.05 * horizon, 6),
+                duration=round(0.10 * horizon, 6), factor=6.0))
+    return FaultPlan(specs=tuple(specs))

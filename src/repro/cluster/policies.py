@@ -1,0 +1,180 @@
+"""Router-side robustness policies and the named policy catalog.
+
+Three orthogonal policies, each independently switchable so experiments
+can attribute degradation to (the absence of) a specific defense:
+
+* :class:`RouterRetryPolicy` — connection timeout + bounded retries
+  with exponential backoff and *deterministic* jitter, delegating the
+  schedule to :class:`repro.resilience.RetryPolicy` (the jitter hashes
+  the operation identity, never wall-clock randomness, so a rerun
+  retries at identical simulated times).
+* :class:`HedgePolicy` — a read not finished ``delay`` after dispatch
+  is duplicated on another replica; the first completion wins and the
+  loser's work still occupies its server (hedging's honest cost).
+* :class:`BreakerPolicy` — a backlog circuit breaker that sheds writes
+  while a shard's primary holds far more queued work than the paper's
+  rho = 0.5 rule of thumb predicts at steady state (Section 6's
+  "effective maximum arrival rate", applied as runtime load control).
+
+All times are in the paper's simulated time unit (one root search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.resilience.policy import RetryPolicy
+
+
+@dataclass(frozen=True)
+class RouterRetryPolicy:
+    """Timeout + bounded backoff retries for operations hitting a down
+    shard.  ``timeout`` is the connection timeout burned per failed
+    attempt; the inter-attempt delays come from ``backoff``."""
+
+    enabled: bool = True
+    timeout: float = 25.0
+    backoff: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_retries=3, backoff_base=10.0, backoff_factor=2.0,
+        backoff_cap=80.0, jitter=0.25))
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigurationError(
+                f"retry timeout must be positive, got {self.timeout}")
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Duplicate a read on a second replica after ``delay`` sim units."""
+
+    enabled: bool = True
+    delay: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ConfigurationError(
+                f"hedge delay must be positive, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Shed writes while a shard's primary is drowning in backlog.
+
+    The trigger is the paper's rho = 0.5 rule of thumb read through
+    queued *work*: the expected M/M/1 workload at utilization rho is
+    ``m rho / (1 - rho)`` (one mean service time ``m`` at rho = 0.5),
+    so the breaker opens when the primary's backlog exceeds ``margin``
+    times that — the margin absorbs stochastic fluctuation at the
+    cluster tier's low per-shard arrival rates, where instantaneous
+    utilization estimates are meaninglessly noisy.  It half-closes when
+    the backlog drains below ``hysteresis`` of the opening level, so a
+    still-browned-out shard re-opens instead of flapping per
+    operation.
+    """
+
+    enabled: bool = True
+    rho_threshold: float = 0.5
+    #: Open at ``margin`` x the rho_threshold steady-state workload.
+    #: Calibrated so sustained brownouts trip the breaker but a crash
+    #: replay's transient spike mostly drains before shedding rescued
+    #: writes.
+    margin: float = 12.0
+    #: Close when the backlog drains below this fraction of the
+    #: opening level.
+    hysteresis: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho_threshold < 1.0:
+            raise ConfigurationError(
+                f"breaker threshold must be in (0, 1), got "
+                f"{self.rho_threshold}")
+        if self.margin <= 0:
+            raise ConfigurationError(
+                f"breaker margin must be positive, got {self.margin}")
+        if not 0.0 < self.hysteresis < 1.0:
+            raise ConfigurationError(
+                f"breaker hysteresis must be in (0, 1), got "
+                f"{self.hysteresis}")
+
+    def open_backlog(self, mean_service: float) -> float:
+        """Backlog (sim units of queued work) that opens the breaker."""
+        rho = self.rho_threshold
+        return self.margin * mean_service * rho / (1.0 - rho)
+
+
+@dataclass(frozen=True)
+class ClusterPolicies:
+    """One named bundle of the three router-side defenses."""
+
+    name: str
+    retry: RouterRetryPolicy = field(default_factory=RouterRetryPolicy)
+    hedge: HedgePolicy = field(default_factory=HedgePolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+
+    def describe(self) -> str:
+        """One-line summary for CLI listings."""
+        parts = []
+        if self.retry.enabled:
+            b = self.retry.backoff
+            parts.append(
+                f"retry(timeout={self.retry.timeout:g}, "
+                f"max_retries={b.max_retries}, base={b.backoff_base:g}, "
+                f"cap={b.backoff_cap:g}, jitter={b.jitter:g})")
+        if self.hedge.enabled:
+            parts.append(f"hedge(delay={self.hedge.delay:g})")
+        if self.breaker.enabled:
+            parts.append(
+                f"breaker(rho>{self.breaker.rho_threshold:g}, "
+                f"margin={self.breaker.margin:g}, "
+                f"hysteresis={self.breaker.hysteresis:g})")
+        return " + ".join(parts) if parts else "no defenses"
+
+
+def _disabled_retry() -> RouterRetryPolicy:
+    return RouterRetryPolicy(enabled=False)
+
+
+def _disabled_hedge() -> HedgePolicy:
+    return HedgePolicy(enabled=False)
+
+
+def _disabled_breaker() -> BreakerPolicy:
+    return BreakerPolicy(enabled=False)
+
+
+#: The named presets ``btree-perf list-cluster-policies`` enumerates.
+#: ``fragile`` is the no-defense baseline every resilient variant is
+#: judged against in ext08; the single-defense presets attribute the
+#: gain to one mechanism.
+POLICY_PRESETS: Dict[str, ClusterPolicies] = {
+    preset.name: preset for preset in (
+        ClusterPolicies("fragile", retry=_disabled_retry(),
+                        hedge=_disabled_hedge(),
+                        breaker=_disabled_breaker()),
+        ClusterPolicies("resilient"),
+        ClusterPolicies("retry-only", hedge=_disabled_hedge(),
+                        breaker=_disabled_breaker()),
+        ClusterPolicies("hedge-only", retry=_disabled_retry(),
+                        breaker=_disabled_breaker()),
+        ClusterPolicies("breaker-only", retry=_disabled_retry(),
+                        hedge=_disabled_hedge()),
+    )
+}
+
+
+def get_policies(name: str) -> ClusterPolicies:
+    """Look up a policy preset; the error names the known presets."""
+    try:
+        return POLICY_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cluster policy preset {name!r}; expected one of "
+            f"{', '.join(POLICY_PRESETS)}") from None
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Preset names in catalog order."""
+    return tuple(POLICY_PRESETS)

@@ -1,0 +1,93 @@
+"""Cluster topology: shard count, partition map, read replicas.
+
+A :class:`ClusterSpec` is pure topology — policies live in
+:mod:`repro.cluster.policies`, dynamics in :mod:`repro.cluster.sim` and
+:mod:`repro.cluster.model` — so the same spec drives the simulator and
+the analytical composition.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """S range-partitioned B-tree shards behind a router.
+
+    ``replicas`` counts the read-serving servers per shard *including*
+    the primary: server 0 is the primary (all writes plus its share of
+    reads), servers 1..R-1 are read replicas.  ``weights`` skews the
+    keyspace partition — shard s owns a key range holding ``weights[s]``
+    of the traffic; ``None`` is the uniform partition.
+    """
+
+    shards: int
+    replicas: int = 1
+    weights: Optional[Tuple[float, ...]] = None
+    #: Size of the routed key universe (range partition granularity).
+    key_space: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"cluster needs >= 1 shard, got {self.shards}")
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas counts servers per shard (primary included), "
+                f"must be >= 1, got {self.replicas}")
+        if self.key_space < self.shards:
+            raise ConfigurationError(
+                f"key_space {self.key_space} smaller than shard count "
+                f"{self.shards}")
+        if self.weights is not None:
+            if len(self.weights) != self.shards:
+                raise ConfigurationError(
+                    f"{len(self.weights)} weights for {self.shards} shards")
+            if any(w <= 0 for w in self.weights):
+                raise ConfigurationError("shard weights must be positive")
+
+    @property
+    def shard_weights(self) -> Tuple[float, ...]:
+        """Normalized per-shard arrival shares (sum to 1)."""
+        if self.weights is None:
+            return (1.0 / self.shards,) * self.shards
+        total = math.fsum(self.weights)
+        return tuple(w / total for w in self.weights)
+
+    def _boundaries(self) -> Tuple[int, ...]:
+        cached = self.__dict__.get("_bounds")
+        if cached is None:
+            cumulative = 0.0
+            bounds = []
+            for weight in self.shard_weights[:-1]:
+                cumulative += weight
+                bounds.append(int(round(cumulative * self.key_space)))
+            cached = tuple(bounds)
+            object.__setattr__(self, "_bounds", cached)
+        return cached
+
+    def shard_for(self, key: int) -> int:
+        """Owning shard of ``key`` under the range partition."""
+        if not 0 <= key < self.key_space:
+            raise ConfigurationError(
+                f"key {key} outside the routed universe "
+                f"[0, {self.key_space})")
+        return bisect_right(self._boundaries(), key)
+
+    def weight(self, shard: int) -> float:
+        """Arrival share of ``shard``."""
+        if not 0 <= shard < self.shards:
+            raise ConfigurationError(
+                f"no shard {shard} in a {self.shards}-shard cluster")
+        return self.shard_weights[shard]
+
+    @property
+    def hottest_weight(self) -> float:
+        """Largest per-shard arrival share (the scaling bottleneck)."""
+        return max(self.shard_weights)

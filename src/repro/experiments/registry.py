@@ -82,6 +82,9 @@ EXPERIMENTS: Dict[str, Experiment] = dict([
     _entry("ext07", "Extension: workload",
            "Algorithm comparison under bursty / skewed / migrating "
            "workload traces", True),
+    _entry("ext08", "Extension: cluster",
+           "Sharded-cluster availability and goodput under injected "
+           "chaos, robustness policies on vs off", True),
 ])
 
 

@@ -11,6 +11,9 @@ Usage::
     btree-perf figures fig03 fig10 --scale 0.05 --resume
     btree-perf simulate --algorithm link-type --rate 0.2 \\
         --metrics-out run.ndjson --progress
+    btree-perf list-cluster-policies
+    btree-perf cluster --shards 8 --replicas 2 --chaos 2 \\
+        --policy resilient --seed 7
 
 ``figures`` is the one-command full reproduction: it regenerates every
 requested figure (``--all`` or explicit ids), renders SVG (+PNG when
@@ -47,6 +50,12 @@ keys unchanged.  See ``docs/performance.md``.
 switch sweeps into resilient execution (retries with backoff,
 quarantine instead of abort, checkpoint/resume); see
 ``docs/robustness.md``.
+
+``cluster`` runs one sharded-cluster simulation (:mod:`repro.cluster`)
+next to its analytical prediction; chaos comes from ``--faults``/
+``$REPRO_FAULTS`` (simulation-time fault specs) or ``--chaos N`` (the
+deterministic ext08 schedule with N waves), and
+``list-cluster-policies`` enumerates the named defense presets.
 """
 
 from __future__ import annotations
@@ -76,6 +85,50 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="list the registered workload components "
                         "(arrival processes and key distributions)")
     sub.add_parser("claims", help="evaluate the paper's in-text claims")
+    sub.add_parser("list-cluster-policies",
+                   help="list the named cluster defense presets "
+                        "(retry / hedge / breaker bundles)")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run one sharded-cluster simulation under chaos, next to "
+             "the analytical router+shard composition")
+    cluster.add_argument("--shards", type=int, default=8,
+                         help="number of range-partitioned shards "
+                              "(default 8)")
+    cluster.add_argument("--replicas", type=int, default=2,
+                         help="servers per shard: 1 primary + R-1 read "
+                              "replicas (default 2)")
+    cluster.add_argument("--algorithm", default=names.NAIVE_LOCK_COUPLING,
+                         choices=sorted(algorithm_names()),
+                         help="single-tree algorithm supplying the "
+                              "per-shard service demands (needs an "
+                              "analytical model)")
+    cluster.add_argument("--policy", default="resilient",
+                         help="defense preset (see "
+                              "list-cluster-policies; default "
+                              "resilient)")
+    cluster.add_argument("--rate", type=float, default=None,
+                         help="total cluster arrival rate; default "
+                              "derives it from --rho")
+    cluster.add_argument("--rho", type=float, default=0.25,
+                         help="target per-shard primary utilization "
+                              "when --rate is omitted (default 0.25)")
+    cluster.add_argument("--horizon", type=float, default=2_000.0,
+                         help="arrival horizon in simulated time units "
+                              "(default 2000)")
+    cluster.add_argument("--seed", type=int, default=1,
+                         help="simulation seed (default 1)")
+    cluster.add_argument("--faults", default=None, metavar="SPEC",
+                         help="simulation-time fault plan, e.g. "
+                              "'shard-crash@2~200!300%%1.6;"
+                              "slow-shard@0~300!600%%6' "
+                              "(default: $REPRO_FAULTS)")
+    cluster.add_argument("--chaos", type=_non_negative_int, default=None,
+                         metavar="WAVES",
+                         help="inject the deterministic ext08 chaos "
+                              "schedule with WAVES waves instead of "
+                              "--faults")
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id", help="e.g. fig03")
@@ -350,6 +403,13 @@ def _dispatch(args) -> int:
             results = evaluate_claims()
             sys.stdout.write(format_claims(results))
             return 0 if all(r.holds for r in results) else 1
+        if args.command == "list-cluster-policies":
+            from repro.cluster import POLICY_PRESETS
+            for preset in POLICY_PRESETS.values():
+                print(f"{preset.name:<14} {preset.describe()}")
+            return 0
+        if args.command == "cluster":
+            return _cluster(args)
         if args.command == "simulate":
             return _simulate(args)
         if args.command == "figures":
@@ -431,6 +491,86 @@ def _figures(args) -> int:
             print(f"CLAIM FAILED {claim.claim_id}: {claim.measured}",
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def _cluster(args) -> int:
+    """The ``cluster`` subcommand: one chaos run vs the model."""
+    from repro.algorithms import get_algorithm
+    from repro.cluster import (
+        ClusterSimConfig,
+        ClusterSpec,
+        analyze_cluster,
+        chaos_plan,
+        get_policies,
+        predict_availability,
+        run_cluster_simulation,
+        shard_service_demands,
+    )
+    from repro.model import paper_default_config
+    from repro.resilience.faults import FaultPlan, plan_from_env
+
+    spec_alg = get_algorithm(args.algorithm)
+    if not spec_alg.has_model:
+        raise ConfigurationError(
+            f"{args.algorithm!r} has no analytical model to supply the "
+            "per-shard service demands; pick one marked 'model' in "
+            "`btree-perf list-algorithms`")
+    if args.faults is not None and args.chaos is not None:
+        raise ConfigurationError(
+            "--faults and --chaos are mutually exclusive")
+
+    config = paper_default_config(disk_cost=1.0)
+    demands = shard_service_demands(spec_alg.analyze, config)
+    mix = {"search": config.mix.q_search, "insert": config.mix.q_insert,
+           "delete": config.mix.q_delete}
+    spec = ClusterSpec(shards=args.shards, replicas=args.replicas)
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        primary = (mix["insert"] * demands["insert"]
+                   + mix["delete"] * demands["delete"]
+                   + mix["search"] * demands["search"] / args.replicas)
+        rate = args.shards * args.rho / primary
+    if args.chaos is not None:
+        plan = chaos_plan(args.shards, args.chaos, args.horizon)
+    elif args.faults is not None:
+        plan = FaultPlan.parse(args.faults)
+    else:
+        plan = plan_from_env() or FaultPlan()
+    policies = get_policies(args.policy)
+
+    prediction = analyze_cluster(spec, rate, demands, mix)
+    result = run_cluster_simulation(ClusterSimConfig(
+        spec=spec, arrival_rate=rate, service_means=demands, mix=mix,
+        policies=policies, horizon=args.horizon, seed=args.seed,
+        faults=plan))
+
+    print(f"cluster: {args.shards} shard(s) x {args.replicas} "
+          f"server(s), algorithm {args.algorithm}, rate {rate:.4g}, "
+          f"horizon {args.horizon:g}, seed {args.seed}")
+    print(f"policy {policies.name}: {policies.describe()}")
+    print(f"chaos: {plan.encode() or 'none'}")
+    stable = "stable" if prediction.stable else "SATURATED"
+    print(f"model: response {prediction.mean_response:.3f} "
+          f"(mixed {prediction.mixed_response(mix):.3f}), "
+          f"router rho {prediction.router_utilization:.3f}, "
+          f"primary rho {prediction.primary_utilization:.3f}, "
+          f"replica rho {prediction.replica_utilization:.3f} [{stable}]")
+    print(f"model availability: "
+          f"{predict_availability(spec, plan, policies, args.horizon):.4f}")
+    print(f"sim: attempted {result.attempted}, completed "
+          f"{result.completed}, failed {result.failed}, shed "
+          f"{result.shed_writes}, retries {result.retries}, hedges "
+          f"{result.hedges} ({result.hedged_wins} wins)")
+    print(f"sim availability {result.availability:.4f}, goodput "
+          f"{result.goodput:.4f} ops/unit, mean response "
+          f"{result.mean_response:.3f}")
+    for shard in result.per_shard:
+        print(f"  shard {shard.shard}: completed {shard.completed}, "
+              f"failed {shard.failed}, shed {shard.shed_writes}, "
+              f"retries {shard.retries}, hedged wins "
+              f"{shard.hedged_wins}, busy {shard.busy_time:.1f}")
     return 0
 
 

@@ -101,6 +101,16 @@ def _reader_drains(rho: float, q: RWQueueInput) -> tuple:
     return r_u, r_e
 
 
+def _error_context(q: RWQueueInput, level: int | None,
+                   rho: float) -> dict:
+    """Full operating point for a ConvergenceError: which queue, at
+    what arrival/service rates, and where the solver last stood —
+    enough to reproduce the failure without re-running the sweep."""
+    return {"level": level, "lambda_r": q.lambda_r,
+            "lambda_w": q.lambda_w, "mu_r": q.mu_r, "mu_w": q.mu_w,
+            "rho_w_estimate": rho}
+
+
 def _fixed_point_rhs(rho: float, q: RWQueueInput) -> float:
     if consume_nan_fault():
         return math.nan
@@ -138,8 +148,7 @@ def _damped_fixed_point(q: RWQueueInput, tol: float,
             f"R/W queue damped fixed point did not converge within "
             f"{_FALLBACK_MAX_ITERATIONS} iterations",
             solver="rw-queue", iterations=iterations, residual=residual,
-            context={"level": level, "lambda_w": q.lambda_w,
-                     "mu_w": q.mu_w})
+            context=_error_context(q, level, rho))
     final = _fixed_point_rhs(rho, q)
     if math.isfinite(final) and final >= _RHO_CEILING:
         # The iteration pinned rho at the ceiling: the queue has no
@@ -155,8 +164,7 @@ def _damped_fixed_point(q: RWQueueInput, tol: float,
             solver="rw-queue", iterations=iterations,
             residual=abs(final - rho) if math.isfinite(final)
             else math.nan,
-            context={"level": level, "lambda_w": q.lambda_w,
-                     "mu_w": q.mu_w})
+            context=_error_context(q, level, rho))
     return rho
 
 
@@ -211,8 +219,7 @@ def solve_rw_queue(q: RWQueueInput, tol: float = 1e-12,
             f"R/W queue solution is non-finite at rho={rho:.6g} "
             f"(r_u={r_u:.6g}, r_e={r_e:.6g}, T_a={t_a:.6g})",
             solver="rw-queue", residual=math.nan,
-            context={"level": level, "lambda_w": q.lambda_w,
-                     "mu_w": q.mu_w})
+            context=_error_context(q, level, rho))
     return RWQueueSolution(rho_w=rho, r_u=r_u, r_e=r_e,
                            aggregate_service_time=t_a)
 

@@ -167,6 +167,27 @@ _ENTRIES: Tuple[FigureSpec, ...] = (
     FigureSpec("ext05", "ext"),
     FigureSpec("ext06", "ext"),
     FigureSpec("ext07", "ext"),
+    # ext08 validates the cluster tier on both axes: the M/G/1 router +
+    # multi-class-shard response composition on the fault-free rows
+    # (faulted rows carry NaN sim responses and drop out), and the
+    # closed-form crash availability — exact without retries, a
+    # mean-jitter rescue-horizon approximation (plus breaker sheds the
+    # model does not charge) with them, hence the looser second bound.
+    FigureSpec("ext08", "ext", (
+        Comparison(names.NAIVE_LOCK_COUPLING, "cluster response",
+                   "model_response", "sim_response",
+                   metric=RELATIVE, threshold=0.35),
+        Comparison(names.NAIVE_LOCK_COUPLING, "availability (fragile)",
+                   "model_availability", "availability_fragile",
+                   metric=ABSOLUTE, threshold=0.05),
+        Comparison(names.NAIVE_LOCK_COUPLING, "availability (resilient)",
+                   "model_availability_resilient",
+                   "availability_resilient",
+                   metric=ABSOLUTE, threshold=0.08),
+    ), plot_columns=("model_availability", "availability_fragile",
+                     "model_availability_resilient",
+                     "availability_resilient", "goodput_fragile",
+                     "goodput_resilient")),
 )
 
 

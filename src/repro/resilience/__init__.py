@@ -36,6 +36,10 @@ from repro.resilience.faults import (
     FAULTS_ENV,
     INJECT_NAN,
     KILL_WORKER,
+    REPLICA_LAG,
+    SHARD_CRASH,
+    SIMULATION_KINDS,
+    SLOW_SHARD,
     STALL_TASK,
     FaultPlan,
     FaultSpec,
@@ -67,8 +71,12 @@ __all__ = [
     "KILL_WORKER",
     "REASON_EVENT_CAP",
     "REASON_WALL_DEADLINE",
+    "REPLICA_LAG",
     "ResilienceOptions",
     "RetryPolicy",
+    "SHARD_CRASH",
+    "SIMULATION_KINDS",
+    "SLOW_SHARD",
     "STALL_TASK",
     "SweepJournal",
     "TaskBudget",

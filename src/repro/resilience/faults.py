@@ -31,8 +31,32 @@ Fault kinds
     the solver's divergence guards (installed per-process via
     :func:`nan_faults`).
 
-All faults are deterministic: they key off task index and attempt
-number, never off timing or randomness.
+Simulation-time fault kinds
+---------------------------
+
+The kinds above strike the *sweep harness* (worker processes, cache
+files, solvers).  The cluster tier (:mod:`repro.cluster`) adds faults
+that strike the *simulated system* at simulated times — ``task_index``
+names the target **shard** and ``at``/``duration`` open a window on the
+simulation clock:
+
+``shard-crash``
+    The whole shard (primary and replicas) is down during
+    ``[at, at + duration)``; in-flight and arriving operations fail
+    (or retry, under a retry policy).  After recovery the shard
+    replays its backlog: service times are inflated by ``factor``
+    for a catch-up window of the same length (the Section 7 recovery
+    analogy — writes behave like lock-retaining recovery writes).
+``slow-shard``
+    Brownout of the shard's *primary* server: its service times are
+    dilated by ``factor`` during the window (replicas keep serving
+    reads at nominal speed, which is what makes hedged reads win).
+``replica-lag``
+    The shard's replica servers serve reads ``factor`` times slower
+    during the window (stale/lagging followers).
+
+All faults are deterministic: they key off task index / shard, attempt
+number and simulated time, never off wall-clock timing or randomness.
 """
 
 from __future__ import annotations
@@ -51,8 +75,22 @@ KILL_WORKER = "kill-worker"
 STALL_TASK = "stall-task"
 CORRUPT_CACHE = "corrupt-cache-entry"
 INJECT_NAN = "inject-nan"
+#: Simulation-time fault kinds (the cluster tier's chaos vocabulary).
+SHARD_CRASH = "shard-crash"
+SLOW_SHARD = "slow-shard"
+REPLICA_LAG = "replica-lag"
 
-_KINDS = (KILL_WORKER, STALL_TASK, CORRUPT_CACHE, INJECT_NAN)
+#: Kinds that strike the simulated cluster rather than the harness.
+SIMULATION_KINDS = (SHARD_CRASH, SLOW_SHARD, REPLICA_LAG)
+
+_KINDS = (KILL_WORKER, STALL_TASK, CORRUPT_CACHE, INJECT_NAN) \
+    + SIMULATION_KINDS
+
+#: Defaults for the optional encoded fields (omitted when defaulted).
+_DEFAULT_SECONDS = 30.0
+_DEFAULT_AT = 0.0
+_DEFAULT_DURATION = 100.0
+_DEFAULT_FACTOR = 2.0
 
 #: Environment variable carrying an encoded plan into CLI runs.
 FAULTS_ENV = "REPRO_FAULTS"
@@ -68,16 +106,26 @@ class FaultSpec:
     ``attempts`` lists the retry-attempt numbers (0 = first try) on
     which the fault fires; ``None`` means every attempt — the shape of
     a *persistent* fault that retries cannot clear, where the default
-    ``(0,)`` models a *transient* one.
+    ``(0,)`` models a *transient* one.  For the simulation-time kinds
+    (:data:`SIMULATION_KINDS`) ``task_index`` names the target *shard*
+    and ``at``/``duration`` bound the fault window on the simulation
+    clock; attempts do not apply.
     """
 
     kind: str
     task_index: Optional[int] = None
     attempts: Optional[Tuple[int, ...]] = (0,)
     #: Stall duration (``stall-task`` only).
-    seconds: float = 30.0
+    seconds: float = _DEFAULT_SECONDS
     #: How many evaluations to poison (``inject-nan`` only; -1 = all).
     count: int = 1
+    #: Simulated start time of the fault window (simulation kinds).
+    at: float = _DEFAULT_AT
+    #: Simulated length of the fault window (simulation kinds).
+    duration: float = _DEFAULT_DURATION
+    #: Service-time multiplier: brownout / replica-lag dilation, or the
+    #: post-crash catch-up replay inflation (simulation kinds).
+    factor: float = _DEFAULT_FACTOR
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -88,15 +136,47 @@ class FaultSpec:
                 and self.task_index is None:
             raise ConfigurationError(
                 f"{self.kind} faults need a task_index")
+        if self.kind in SIMULATION_KINDS and self.task_index is None:
+            raise ConfigurationError(
+                f"{self.kind} faults need a task_index naming the shard")
         if self.seconds < 0:
             raise ConfigurationError(
                 f"stall seconds must be >= 0, got {self.seconds}")
+        if self.at < 0:
+            raise ConfigurationError(
+                f"fault start time must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"fault duration must be > 0, got {self.duration}")
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"fault factor is a dilation >= 1, got {self.factor}")
 
     def fires_on(self, attempt: int) -> bool:
         return self.attempts is None or attempt in self.attempts
 
+    @property
+    def shard(self) -> int:
+        """Target shard of a simulation-time fault (= ``task_index``)."""
+        if self.kind not in SIMULATION_KINDS or self.task_index is None:
+            raise ConfigurationError(
+                f"{self.kind} faults do not target a shard")
+        return self.task_index
+
+    @property
+    def window_end(self) -> float:
+        """End of the fault window: ``at + duration``."""
+        return self.at + self.duration
+
+    def active_at(self, time: float) -> bool:
+        """True while a simulation-time fault window covers ``time``."""
+        return self.at <= time < self.window_end
+
     def encode(self) -> str:
-        """``kind@index#attempts~seconds`` (omitting defaulted parts)."""
+        """``kind@index#attempts~seconds!at%factor`` (omitting defaulted
+        parts).  ``~`` carries the fault's window length: the stall
+        seconds for ``stall-task``, the window duration for the
+        simulation kinds."""
         parts = [self.kind]
         if self.task_index is not None:
             parts.append(f"@{self.task_index}")
@@ -104,8 +184,15 @@ class FaultSpec:
             parts.append("#*")
         elif self.attempts != (0,):
             parts.append("#" + "+".join(str(a) for a in self.attempts))
-        if self.kind == STALL_TASK and self.seconds != 30.0:
+        if self.kind == STALL_TASK and self.seconds != _DEFAULT_SECONDS:
             parts.append(f"~{self.seconds:g}")
+        if self.kind in SIMULATION_KINDS:
+            if self.duration != _DEFAULT_DURATION:
+                parts.append(f"~{self.duration:g}")
+            if self.at != _DEFAULT_AT:
+                parts.append(f"!{self.at:g}")
+            if self.factor != _DEFAULT_FACTOR:
+                parts.append(f"%{self.factor:g}")
         if self.kind == INJECT_NAN and self.count != 1:
             parts.append(f"x{self.count}")
         return "".join(parts)
@@ -134,6 +221,20 @@ class FaultPlan:
     def nan_faults(self) -> Tuple[FaultSpec, ...]:
         return tuple(s for s in self.specs if s.kind == INJECT_NAN)
 
+    def simulation_faults(self, kind: Optional[str] = None,
+                          shard: Optional[int] = None,
+                          ) -> Tuple[FaultSpec, ...]:
+        """Simulation-time faults, sorted by window start.
+
+        Optionally filtered to one ``kind`` and/or one target ``shard``;
+        the cluster simulator consumes these (:mod:`repro.cluster`).
+        """
+        specs = [s for s in self.specs if s.kind in SIMULATION_KINDS
+                 and (kind is None or s.kind == kind)
+                 and (shard is None or s.task_index == shard)]
+        specs.sort(key=lambda s: (s.at, s.task_index or 0))
+        return tuple(specs)
+
     def encode(self) -> str:
         """Round-trippable text form for :data:`FAULTS_ENV`."""
         return ";".join(spec.encode() for spec in self.specs)
@@ -149,19 +250,25 @@ class FaultPlan:
 
 
 def _parse_spec(chunk: str) -> FaultSpec:
+    # Markers are stripped in reverse order of FaultSpec.encode so each
+    # partition's tail is exactly one field's text.
     original = chunk
     count = 1
     if "x" in chunk:
         chunk, _, count_text = chunk.rpartition("x")
         count = _parse_int(count_text, original, "count")
-    seconds = 30.0
+    factor = _DEFAULT_FACTOR
+    if "%" in chunk:
+        chunk, _, factor_text = chunk.partition("%")
+        factor = _parse_float(factor_text, original, "factor")
+    at = _DEFAULT_AT
+    if "!" in chunk:
+        chunk, _, at_text = chunk.partition("!")
+        at = _parse_float(at_text, original, "start time")
+    window = None
     if "~" in chunk:
-        chunk, _, seconds_text = chunk.partition("~")
-        try:
-            seconds = float(seconds_text)
-        except ValueError:
-            raise ConfigurationError(
-                f"bad stall duration in fault spec {original!r}") from None
+        chunk, _, window_text = chunk.partition("~")
+        window = _parse_float(window_text, original, "duration")
     attempts: Optional[Tuple[int, ...]] = (0,)
     if "#" in chunk:
         chunk, _, attempts_text = chunk.partition("#")
@@ -174,13 +281,31 @@ def _parse_spec(chunk: str) -> FaultSpec:
     if "@" in chunk:
         chunk, _, index_text = chunk.partition("@")
         index = _parse_int(index_text, original, "task index")
+    # ``~`` carries seconds for stall-task, the window duration for the
+    # simulation-time kinds (the kind is only known now).
+    seconds = _DEFAULT_SECONDS
+    duration = _DEFAULT_DURATION
+    if window is not None:
+        if chunk in SIMULATION_KINDS:
+            duration = window
+        else:
+            seconds = window
     return FaultSpec(kind=chunk, task_index=index, attempts=attempts,
-                     seconds=seconds, count=count)
+                     seconds=seconds, count=count, at=at,
+                     duration=duration, factor=factor)
 
 
 def _parse_int(text: str, original: str, what: str) -> int:
     try:
         return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad {what} in fault spec {original!r}") from None
+
+
+def _parse_float(text: str, original: str, what: str) -> float:
+    try:
+        return float(text)
     except ValueError:
         raise ConfigurationError(
             f"bad {what} in fault spec {original!r}") from None

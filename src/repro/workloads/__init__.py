@@ -11,6 +11,7 @@ Every public name is still importable from here, with a
 
 from __future__ import annotations
 
+import sys
 import warnings
 
 _FORWARDED = (
@@ -27,12 +28,27 @@ _FORWARDED = (
 __all__ = list(_FORWARDED)
 
 
+def _caller_stacklevel() -> int:
+    """Stacklevel (for a warn issued in ``__getattr__``) that lands on
+    the user's code.  ``from repro.workloads import X`` reaches
+    ``__getattr__`` through frozen importlib frames, so a fixed
+    ``stacklevel=2`` would blame ``<frozen importlib._bootstrap>``
+    instead of the import statement; skip those frames."""
+    level = 2
+    frame = sys._getframe(2)  # __getattr__'s direct caller
+    while frame is not None and \
+            frame.f_code.co_filename.startswith("<frozen importlib"):
+        level += 1
+        frame = frame.f_back
+    return level
+
+
 def __getattr__(name: str):
     if name in _FORWARDED:
         warnings.warn(
             f"repro.workloads.{name} is deprecated; import {name} from "
             "repro.workload (the pluggable workload subsystem)",
-            DeprecationWarning, stacklevel=2)
+            DeprecationWarning, stacklevel=_caller_stacklevel())
         import repro.workload
         return getattr(repro.workload, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

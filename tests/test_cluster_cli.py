@@ -1,0 +1,70 @@
+"""CLI tests for the ``cluster`` and ``list-cluster-policies``
+subcommands of ``btree-perf``."""
+
+import pytest
+
+from repro.algorithms import all_algorithms
+from repro.cluster import policy_names
+from repro.experiments.runner import main as cli_main
+from repro.resilience import FAULTS_ENV
+
+
+class TestListClusterPolicies:
+    def test_lists_every_preset_with_its_description(self, capsys):
+        assert cli_main(["list-cluster-policies"]) == 0
+        out = capsys.readouterr().out
+        for name in policy_names():
+            assert name in out
+        assert "no defenses" in out
+        assert "breaker(rho>0.5" in out
+
+
+class TestClusterCommand:
+    def test_chaos_run_reports_model_and_sim(self, capsys):
+        assert cli_main(["cluster", "--shards", "4", "--chaos", "1",
+                         "--horizon", "500", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "shard-crash@" in out
+        assert "model: response" in out
+        assert "sim availability" in out
+        assert "shard 3:" in out
+
+    def test_same_seed_output_is_identical(self, capsys):
+        argv = ["cluster", "--shards", "2", "--chaos", "1",
+                "--horizon", "400", "--seed", "7"]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        assert cli_main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explicit_faults_spec(self, capsys):
+        assert cli_main(["cluster", "--shards", "2", "--horizon", "300",
+                         "--faults", "slow-shard@1~60!100%4"]) == 0
+        assert "slow-shard@1" in capsys.readouterr().out
+
+    def test_faults_default_from_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "shard-crash@0~50!80%1.5")
+        assert cli_main(["cluster", "--shards", "2",
+                         "--horizon", "300"]) == 0
+        assert "shard-crash@0" in capsys.readouterr().out
+
+    def test_faults_and_chaos_mutually_exclusive(self, capsys):
+        assert cli_main(["cluster", "--faults", "slow-shard@0",
+                         "--chaos", "1"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_malformed_faults_fail_cleanly(self, capsys):
+        assert cli_main(["cluster", "--faults", "bogus@@"]) == 1
+        assert "fault spec" in capsys.readouterr().err
+
+    def test_model_free_algorithm_rejected(self, capsys):
+        sim_only = [s.name for s in all_algorithms() if not s.has_model]
+        if not sim_only:
+            pytest.skip("every registered algorithm has a model")
+        assert cli_main(["cluster", "--algorithm", sim_only[0]]) == 1
+        assert "no analytical model" in capsys.readouterr().err
+
+    def test_explicit_rate_overrides_rho(self, capsys):
+        assert cli_main(["cluster", "--shards", "2", "--rate", "0.05",
+                         "--horizon", "300"]) == 0
+        assert "rate 0.05" in capsys.readouterr().out

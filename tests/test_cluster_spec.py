@@ -1,0 +1,145 @@
+"""Unit tests for the cluster topology, policy catalog and chaos
+schedules (:mod:`repro.cluster`)."""
+
+import pytest
+
+from repro.cluster import (
+    POLICY_PRESETS,
+    BreakerPolicy,
+    ClusterSpec,
+    HedgePolicy,
+    RouterRetryPolicy,
+    chaos_plan,
+    get_policies,
+    policy_names,
+)
+from repro.errors import ConfigurationError
+from repro.resilience import REPLICA_LAG, SHARD_CRASH, SLOW_SHARD
+
+
+class TestClusterSpec:
+    def test_every_key_routes_to_a_shard(self):
+        spec = ClusterSpec(shards=4, key_space=1000)
+        shards = {spec.shard_for(key) for key in range(1000)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_uniform_weights_split_the_space_evenly(self):
+        spec = ClusterSpec(shards=4, key_space=1000)
+        counts = [0] * 4
+        for key in range(1000):
+            counts[spec.shard_for(key)] += 1
+        assert counts == [250, 250, 250, 250]
+
+    def test_skewed_weights_shift_the_boundaries(self):
+        spec = ClusterSpec(shards=2, weights=(3.0, 1.0), key_space=1000)
+        hot = sum(1 for key in range(1000) if spec.shard_for(key) == 0)
+        assert hot == 750
+        assert spec.hottest_weight == pytest.approx(0.75)
+
+    def test_weights_are_normalized(self):
+        spec = ClusterSpec(shards=2, weights=(2.0, 2.0))
+        assert spec.weight(0) == pytest.approx(0.5)
+        assert spec.weight(1) == pytest.approx(0.5)
+
+    def test_out_of_range_keys_rejected(self):
+        spec = ClusterSpec(shards=2, key_space=10)
+        with pytest.raises(ConfigurationError):
+            spec.shard_for(10)
+        with pytest.raises(ConfigurationError):
+            spec.shard_for(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shards": 0},
+        {"shards": 2, "replicas": 0},
+        {"shards": 2, "weights": (1.0,)},
+        {"shards": 2, "weights": (1.0, -1.0)},
+        {"shards": 2, "key_space": 0},
+    ])
+    def test_invalid_topologies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(**kwargs)
+
+
+class TestPolicyCatalog:
+    def test_fragile_has_no_defenses(self):
+        fragile = get_policies("fragile")
+        assert not fragile.retry.enabled
+        assert not fragile.hedge.enabled
+        assert not fragile.breaker.enabled
+        assert fragile.describe() == "no defenses"
+
+    def test_resilient_has_all_three(self):
+        resilient = get_policies("resilient")
+        assert resilient.retry.enabled
+        assert resilient.hedge.enabled
+        assert resilient.breaker.enabled
+        text = resilient.describe()
+        assert "retry(" in text and "hedge(" in text and "breaker(" in text
+
+    def test_single_defense_presets_attribute_one_mechanism(self):
+        for name, attr in (("retry-only", "retry"), ("hedge-only", "hedge"),
+                           ("breaker-only", "breaker")):
+            preset = get_policies(name)
+            for other in ("retry", "hedge", "breaker"):
+                assert getattr(preset, other).enabled == (other == attr)
+
+    def test_names_match_catalog(self):
+        assert set(policy_names()) == set(POLICY_PRESETS)
+
+    def test_unknown_preset_names_the_catalog(self):
+        with pytest.raises(ConfigurationError, match="fragile"):
+            get_policies("bulletproof")
+
+    def test_breaker_opens_at_margin_times_steady_state_backlog(self):
+        # At rho = 0.5 the M/M/1 workload is one mean service time.
+        breaker = BreakerPolicy(rho_threshold=0.5, margin=4.0)
+        assert breaker.open_backlog(3.0) == pytest.approx(12.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rho_threshold": 0.0},
+        {"rho_threshold": 1.0},
+        {"margin": 0.0},
+        {"hysteresis": 0.0},
+        {"hysteresis": 1.0},
+    ])
+    def test_breaker_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(**kwargs)
+
+    def test_retry_and_hedge_validation(self):
+        with pytest.raises(ConfigurationError):
+            RouterRetryPolicy(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(delay=0.0)
+
+
+class TestChaosPlan:
+    def test_rate_zero_is_fault_free(self):
+        assert not chaos_plan(8, 0, 1000.0)
+
+    def test_wave_composition(self):
+        plan = chaos_plan(8, 2, 1000.0)
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds.count(SHARD_CRASH) == 2
+        assert kinds.count(SLOW_SHARD) == 2
+        assert kinds.count(REPLICA_LAG) == 1
+
+    def test_windows_fit_the_horizon(self):
+        plan = chaos_plan(8, 2, 1000.0)
+        for spec in plan.specs:
+            assert 0.0 <= spec.at < spec.window_end <= 1000.0
+            assert 0 <= spec.shard < 8
+
+    def test_deterministic_and_env_round_trippable(self):
+        from repro.resilience import FaultPlan
+        plan = chaos_plan(16, 2, 2000.0)
+        assert plan == chaos_plan(16, 2, 2000.0)
+        assert FaultPlan.parse(plan.encode()) == plan
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chaos_plan(0, 1, 100.0)
+        with pytest.raises(ConfigurationError):
+            chaos_plan(4, -1, 100.0)
+        with pytest.raises(ConfigurationError):
+            chaos_plan(4, 1, 0.0)

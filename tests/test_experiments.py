@@ -25,6 +25,8 @@ class TestRegistry:
         assert "ext01" in EXPERIMENTS
         assert "ext02" in EXPERIMENTS
         assert "ext03" in EXPERIMENTS
+        assert "ext08" in EXPERIMENTS
+        assert EXPERIMENTS["ext08"].has_simulation
 
     def test_lookup(self):
         exp = get_experiment("fig03")

@@ -117,3 +117,52 @@ class TestValidation:
     def test_idle_queue_is_fine(self):
         sol = solve_rw_queue(RWQueueInput(0.0, 0.0, 0.0, 0.0))
         assert sol.rho_w == 0.0
+
+
+class TestDampedFallback:
+    """The damped iteration must cover the bracketing solver's failure
+    modes — poisoned evaluations, extreme utilization — and its errors
+    must carry the full operating point."""
+
+    def test_poisoned_bracket_falls_back_and_agrees(self):
+        from repro.resilience.faults import nan_faults
+        clean = _solve(0.5, 0.2, 1.0, 1.0)
+        with nan_faults(1):  # kill brentq's opening evaluation
+            recovered = _solve(0.5, 0.2, 1.0, 1.0)
+        assert recovered.rho_w == pytest.approx(clean.rho_w, abs=1e-6)
+
+    def test_extreme_rho_fallback_converges(self):
+        """Near the stability boundary (rho_w ~ 0.97) the damped
+        iteration still lands on the bracketing solver's root."""
+        from repro.resilience.faults import nan_faults
+        q = RWQueueInput(0.2, 0.8, 1.0, 1.0)
+        clean = solve_rw_queue(q)
+        assert clean.rho_w > 0.97
+        with nan_faults(1):
+            recovered = solve_rw_queue(q)
+        assert recovered.rho_w == pytest.approx(clean.rho_w, abs=1e-4)
+
+    def test_saturated_fallback_still_reports_instability(self):
+        """A poisoned evaluation must not turn saturation into a bogus
+        ConvergenceError or a NaN: the ceiling-pinned iteration raises
+        UnstableQueueError like the bracketing path."""
+        from repro.resilience.faults import nan_faults
+        with nan_faults(1):
+            with pytest.raises(UnstableQueueError):
+                _solve(0.5, 1.5, 1.0, 1.0)
+
+    def test_persistent_poison_raises_with_operating_point(self):
+        from repro.errors import ConvergenceError
+        from repro.resilience.faults import nan_faults
+        with nan_faults(-1):  # every evaluation returns NaN
+            with pytest.raises(ConvergenceError) as exc_info:
+                solve_rw_queue(RWQueueInput(0.5, 0.2, 1.0, 1.0), level=2)
+        error = exc_info.value
+        assert error.solver == "rw-queue"
+        context = error.context
+        assert context["level"] == 2
+        assert context["lambda_r"] == 0.5
+        assert context["lambda_w"] == 0.2
+        assert context["mu_r"] == 1.0
+        assert context["mu_w"] == 1.0
+        assert "rho_w_estimate" in context

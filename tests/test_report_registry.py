@@ -20,7 +20,7 @@ class TestCompleteness:
 
     def test_every_extension_figure_is_registered(self):
         assert set(all_figure_ids("ext")) == {
-            f"ext{n:02d}" for n in range(1, 8)}
+            f"ext{n:02d}" for n in range(1, 9)}
 
     def test_kinds_partition_the_registry(self):
         assert (set(all_figure_ids("paper")) | set(all_figure_ids("ext"))

@@ -27,6 +27,7 @@ from repro.resilience import (
     FAULTS_ENV,
     FaultPlan,
     FaultSpec,
+    INJECT_NAN,
     KILL_WORKER,
     STALL_TASK,
     CORRUPT_CACHE,
@@ -323,3 +324,73 @@ class TestFaultFreeParity:
         assert resilient.retries == 0
         assert resilient.pool_rebuilds == 0
         assert _fingerprints(resilient.results) == _fingerprints(legacy)
+
+
+# ----------------------------------------------------------------------
+# Property-style: arbitrary plans round-trip through $REPRO_FAULTS
+# ----------------------------------------------------------------------
+class TestPlanRoundTripProperty:
+    """Any well-formed fault-spec sequence — including the cluster
+    simulation kinds with their ``~window !at %factor`` fields — must
+    survive ``encode -> $REPRO_FAULTS -> parse`` byte-identically."""
+
+    @staticmethod
+    def _random_spec(rng):
+        from repro.resilience import REPLICA_LAG, SHARD_CRASH, SLOW_SHARD
+        kind = rng.choice((KILL_WORKER, STALL_TASK, CORRUPT_CACHE,
+                           INJECT_NAN, SHARD_CRASH, SLOW_SHARD,
+                           REPLICA_LAG))
+        # %g-stable floats: <= 6 significant digits survive the text form.
+        def stable(lo, hi):
+            return round(rng.uniform(lo, hi), 3)
+        if kind == INJECT_NAN:
+            return FaultSpec(kind=kind,
+                             count=rng.choice((-1, 1, 2, 5)))
+        if kind == CORRUPT_CACHE:
+            return FaultSpec(kind=kind, task_index=rng.randrange(16))
+        if kind in (KILL_WORKER, STALL_TASK):
+            attempts = rng.choice((None, (0,), (1,), (0, 2),
+                                   tuple(sorted(rng.sample(range(4), 2)))))
+            if kind == STALL_TASK:
+                return FaultSpec(kind=kind, task_index=rng.randrange(16),
+                                 attempts=attempts,
+                                 seconds=stable(0.001, 5.0))
+            return FaultSpec(kind=kind, task_index=rng.randrange(16),
+                             attempts=attempts)
+        return FaultSpec(kind=kind, task_index=rng.randrange(32),
+                         at=stable(0.0, 900.0),
+                         duration=stable(0.001, 900.0),
+                         factor=stable(1.0, 50.0))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_plan_round_trips_byte_identically(self, seed,
+                                                      monkeypatch):
+        import random
+
+        from repro.resilience import plan_from_env
+        rng = random.Random(seed)
+        plan = FaultPlan(specs=tuple(
+            self._random_spec(rng) for _ in range(rng.randrange(1, 9))))
+        encoded = plan.encode()
+        monkeypatch.setenv(FAULTS_ENV, encoded)
+        recovered = plan_from_env()
+        assert recovered == plan
+        # The text form is a fixed point: re-encoding changes nothing.
+        assert recovered.encode() == encoded
+
+    def test_simulation_kinds_survive_alongside_worker_kinds(self,
+                                                             monkeypatch):
+        from repro.resilience import REPLICA_LAG, SHARD_CRASH, SLOW_SHARD, \
+            plan_from_env
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=SHARD_CRASH, task_index=2, at=50.0,
+                      duration=40.0, factor=3.0),
+            FaultSpec(kind=SLOW_SHARD, task_index=0),
+            FaultSpec(kind=REPLICA_LAG, task_index=1, at=12.5,
+                      duration=7.25, factor=8.0),
+            FaultSpec(kind=STALL_TASK, task_index=4, seconds=12.0),
+            FaultSpec(kind=KILL_WORKER, task_index=2, attempts=(0, 1)),
+            FaultSpec(kind=INJECT_NAN, count=3),
+        ))
+        monkeypatch.setenv(FAULTS_ENV, plan.encode())
+        assert plan_from_env() == plan
